@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/server .
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/vcdbench all
+
+fuzz:
+	$(GO) test ./internal/bitio -fuzz FuzzReader -fuzztime 30s
+	$(GO) test ./internal/mpeg -fuzz FuzzPartialDecoder -fuzztime 30s
+	$(GO) test ./internal/mpeg -fuzz FuzzFullDecoder -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,124 @@
+package vdsms
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestArchiveMatchedSegment verifies the paper's "store only the relevant
+// sequences" feature: when a match fires, the detector hands back a
+// standalone clip of the matched stream segment, decodable on its own and
+// itself re-matchable against the query.
+func TestArchiveMatchedSegment(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArchiveSec = 60
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 71, 20)
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+
+	var clips [][]byte
+	det.OnMatchClip = func(m Match, c []byte) {
+		clips = append(clips, append([]byte(nil), c...))
+	}
+
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 1,
+		bytes.NewReader(clip(t, 900, 30)),
+		bytes.NewReader(query),
+		bytes.NewReader(clip(t, 901, 30)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := det.Monitor(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || len(clips) != len(matches) {
+		t.Fatalf("%d matches but %d archived clips", len(matches), len(clips))
+	}
+
+	// The archived clip must itself contain the copy: feeding it to a
+	// fresh detector re-detects the query.
+	verify, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	rematches, err := verify.Monitor(bytes.NewReader(clips[len(clips)-1]))
+	if err != nil {
+		t.Fatalf("archived clip not decodable: %v", err)
+	}
+	if len(rematches) == 0 {
+		t.Error("archived clip does not contain the matched copy")
+	}
+}
+
+// TestArchiveRetentionBound: the archive never exceeds the configured
+// window, so long streams stay memory-bounded.
+func TestArchiveRetentionBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArchiveSec = 10 // retain only 10 s
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 72, 16)
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	var archived [][]byte
+	det.OnMatchClip = func(m Match, c []byte) { archived = append(archived, c) }
+
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 1,
+		bytes.NewReader(clip(t, 910, 120)), // long lead-in: retention must roll
+		bytes.NewReader(query),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamSize := stream.Len()
+	if _, err := det.Monitor(&stream); err != nil {
+		t.Fatal(err)
+	}
+	if len(archived) == 0 {
+		t.Fatal("no archived clips")
+	}
+	// 10 s retained out of a 136 s stream: the clip must be far smaller
+	// than the whole stream.
+	if len(archived[0]) >= streamSize/4 {
+		t.Errorf("archived clip %d bytes, stream %d — retention not bounded",
+			len(archived[0]), streamSize)
+	}
+}
+
+// TestArchiveDisabledNoCallback: without ArchiveSec the clip callback stays
+// silent even if set.
+func TestArchiveDisabledNoCallback(t *testing.T) {
+	det, err := NewDetector(testConfig()) // ArchiveSec zero
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 73, 16)
+	det.AddQuery(1, bytes.NewReader(query))
+	called := false
+	det.OnMatchClip = func(Match, []byte) { called = true }
+	ms, err := det.Monitor(bytes.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no match")
+	}
+	if called {
+		t.Error("OnMatchClip fired without ArchiveSec")
+	}
+}

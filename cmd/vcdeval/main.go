@@ -1,0 +1,120 @@
+// Command vcdeval scores a monitor's output against a scenario's ground
+// truth, computing precision and recall under the paper's correctness rule
+// (a report at position p for query Q counts iff Q.begin+w ≤ p ≤ Q.end+w).
+//
+//	vcdgen scenario -dir scen -queries 10 -edited
+//	vcdmon -q scen/query-1.mvc ... scen/stream.mvc | vcdeval -truth scen/truth.txt
+//
+// Match lines are vcdmon's format ("MATCH query=<id> at=<sec>s ...");
+// anything else on stdin is ignored. Truth lines are "id begin end" in
+// seconds, as written by vcdgen scenario.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vdsms/internal/workload"
+)
+
+func main() {
+	truthPath := flag.String("truth", "", "ground-truth file (required)")
+	window := flag.Float64("window", 5, "basic window w in seconds (evaluation slack)")
+	keyFPS := flag.Float64("keyfps", 2, "key-frame rate used to convert seconds to frames")
+	flag.Parse()
+	if *truthPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: vcdmon ... | vcdeval -truth truth.txt [-window 5]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*truthPath, *window, *keyFPS, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vcdeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(truthPath string, windowSec, keyFPS float64, in io.Reader, out io.Writer) error {
+	truth, err := readTruth(truthPath, keyFPS)
+	if err != nil {
+		return err
+	}
+	reports, err := readReports(in, keyFPS)
+	if err != nil {
+		return err
+	}
+	ev := workload.Evaluate(reports, truth, int(windowSec*keyFPS))
+	fmt.Fprintf(out, "reports=%d correct=%d inserted=%d detected=%d\n",
+		ev.Reported, ev.Correct, ev.Inserted, ev.Detected)
+	fmt.Fprintf(out, "precision=%.3f recall=%.3f\n", ev.Precision, ev.Recall)
+	return nil
+}
+
+// readTruth parses "id begin end" lines (seconds) into key-frame intervals.
+func readTruth(path string, keyFPS float64) ([]workload.Insertion, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []workload.Insertion
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'id begin end', got %q", path, line, sc.Text())
+		}
+		id, err1 := strconv.Atoi(fields[0])
+		begin, err2 := strconv.ParseFloat(fields[1], 64)
+		end, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%s:%d: malformed truth line %q", path, line, sc.Text())
+		}
+		out = append(out, workload.Insertion{
+			QueryID: id,
+			Begin:   int(begin * keyFPS),
+			End:     int(end * keyFPS),
+		})
+	}
+	return out, sc.Err()
+}
+
+// readReports extracts "MATCH query=<id> at=<sec>s" events from a monitor
+// transcript.
+func readReports(in io.Reader, keyFPS float64) ([]workload.Position, error) {
+	var out []workload.Position
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "MATCH ") {
+			continue
+		}
+		var qid int
+		var at float64
+		ok := 0
+		for _, f := range strings.Fields(line[6:]) {
+			switch {
+			case strings.HasPrefix(f, "query="):
+				if v, err := strconv.Atoi(f[6:]); err == nil {
+					qid, ok = v, ok+1
+				}
+			case strings.HasPrefix(f, "at="):
+				s := strings.TrimSuffix(f[3:], "s")
+				if v, err := strconv.ParseFloat(s, 64); err == nil {
+					at, ok = v, ok+1
+				}
+			}
+		}
+		if ok == 2 {
+			out = append(out, workload.Position{QueryID: qid, P: int(at * keyFPS)})
+		}
+	}
+	return out, sc.Err()
+}

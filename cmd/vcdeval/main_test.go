@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTruth(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "truth.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadTruth(t *testing.T) {
+	p := writeTruth(t, "1 10.00 30.00\n2 50.50 70.00\n\n")
+	truth, err := readTruth(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 2 {
+		t.Fatalf("parsed %d insertions", len(truth))
+	}
+	if truth[0].QueryID != 1 || truth[0].Begin != 20 || truth[0].End != 60 {
+		t.Errorf("first insertion %+v", truth[0])
+	}
+	if truth[1].Begin != 101 {
+		t.Errorf("second begin %d, want 101", truth[1].Begin)
+	}
+}
+
+func TestReadTruthErrors(t *testing.T) {
+	for _, bad := range []string{"1 2\n", "x 1 2\n", "1 a 2\n"} {
+		p := writeTruth(t, bad)
+		if _, err := readTruth(p, 2); err == nil {
+			t.Errorf("truth %q accepted", bad)
+		}
+	}
+	if _, err := readTruth("/nonexistent/truth.txt", 2); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadReports(t *testing.T) {
+	in := strings.NewReader(`subscribed query 1 (x.mvc)
+MATCH query=1 at=25.0s start=10.0s end=25.0s sim=0.700
+noise line
+MATCH query=2 at=60.5s start=55.0s end=60.5s sim=0.810
+MATCH malformed line without fields
+`)
+	reports, err := readReports(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("parsed %d reports", len(reports))
+	}
+	if reports[0].QueryID != 1 || reports[0].P != 50 {
+		t.Errorf("first report %+v", reports[0])
+	}
+	if reports[1].QueryID != 2 || reports[1].P != 121 {
+		t.Errorf("second report %+v", reports[1])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	truth := writeTruth(t, "1 10.00 30.00\n2 50.00 70.00\n")
+	in := strings.NewReader(
+		"MATCH query=1 at=20.0s start=10.0s end=20.0s sim=0.7\n" + // correct
+			"MATCH query=2 at=200.0s start=190.0s end=200.0s sim=0.7\n") // wrong place
+	var out strings.Builder
+	if err := run(truth, 5, 2, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"reports=2", "correct=1", "detected=1", "precision=0.500", "recall=0.500"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Command vcdgen generates synthetic MVC1 video material: standalone
+// clips, edited copies, and full monitoring scenarios (a stream with
+// inserted copies plus the query clips and a ground-truth file).
+//
+// Usage:
+//
+//	vcdgen clip -out video.mvc [-seconds 10] [-seed 1] [-fps 30] [-w 176] [-h 144]
+//	vcdgen edit -in video.mvc -out copy.mvc [-brightness 20] [-reorder 5] ...
+//	vcdgen scenario -dir out/ [-queries 10] [-edited] [-seed 1]
+//
+// The scenario form writes out/stream.mvc, out/query-<id>.mvc and
+// out/truth.txt (lines: query-id begin-seconds end-seconds), ready for
+// vcdmon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	_ "image/jpeg"
+	_ "image/png"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vdsms"
+	"vdsms/internal/mpeg"
+	"vdsms/internal/vframe"
+	"vdsms/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "clip":
+		err = clipCmd(os.Args[2:])
+	case "edit":
+		err = editCmd(os.Args[2:])
+	case "scenario":
+		err = scenarioCmd(os.Args[2:])
+	case "fromimages":
+		err = fromImagesCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcdgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vcdgen clip -out FILE [-seconds N] [-seed N] [-fps N] [-w N] [-h N] [-quality N] [-gop N]
+  vcdgen edit -in FILE -out FILE [-brightness N] [-contrast N] [-noise N] [-reorder SEC] [-seed N]
+  vcdgen scenario -dir DIR [-queries N] [-edited] [-seed N]
+  vcdgen fromimages -out FILE -glob 'frames/*.png' [-fps N] [-w N] [-h N]`)
+	os.Exit(2)
+}
+
+// fromImagesCmd encodes a sequence of image files (sorted by name) as an
+// MVC1 video, so users can bring their own frames.
+func fromImagesCmd(args []string) error {
+	fs := flag.NewFlagSet("fromimages", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	glob := fs.String("glob", "", "glob of input images, e.g. 'frames/*.png' (required)")
+	fps := fs.Float64("fps", 30, "frame rate")
+	w := fs.Int("w", 176, "width (multiple of 16)")
+	h := fs.Int("h", 144, "height (multiple of 16)")
+	quality := fs.Int("quality", 75, "encoder quality")
+	gop := fs.Int("gop", 15, "I-frame interval")
+	fs.Parse(args)
+	if *out == "" || *glob == "" {
+		return fmt.Errorf("fromimages: -out and -glob required")
+	}
+	paths, err := filepath.Glob(*glob)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("fromimages: no files match %q", *glob)
+	}
+	sort.Strings(paths)
+	frames := make([]*vframe.Frame, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		img, _, err := image.Decode(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("fromimages: decoding %s: %w", p, err)
+		}
+		frames = append(frames, vframe.FromImage(img, *w, *h))
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	if _, err := mpeg.EncodeSource(dst, vframe.FromFrames(frames, *fps), *quality, *gop); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d frames to %s\n", len(frames), *out)
+	return nil
+}
+
+func clipCmd(args []string) error {
+	fs := flag.NewFlagSet("clip", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	seconds := fs.Float64("seconds", 10, "duration")
+	seed := fs.Int64("seed", 1, "content seed")
+	fps := fs.Float64("fps", 30, "frame rate")
+	w := fs.Int("w", 176, "width (multiple of 16)")
+	h := fs.Int("h", 144, "height (multiple of 16)")
+	quality := fs.Int("quality", 75, "encoder quality 1-100")
+	gop := fs.Int("gop", 15, "I-frame interval")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("clip: -out required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return vdsms.Synthesize(f, vdsms.VideoOptions{
+		Seconds: *seconds, FPS: *fps, W: *w, H: *h,
+		Seed: *seed, Quality: *quality, GOP: *gop,
+	})
+}
+
+func editCmd(args []string) error {
+	fs := flag.NewFlagSet("edit", flag.ExitOnError)
+	in := fs.String("in", "", "input clip (required)")
+	out := fs.String("out", "", "output clip (required)")
+	brightness := fs.Float64("brightness", 0, "luma offset")
+	contrast := fs.Float64("contrast", 0, "contrast factor (1 = unchanged)")
+	noise := fs.Float64("noise", 0, "uniform noise amplitude")
+	reorder := fs.Float64("reorder", 0, "reorder segments of this many seconds")
+	seed := fs.Int64("seed", 1, "edit seed")
+	quality := fs.Int("quality", 75, "re-encode quality")
+	gop := fs.Int("gop", 15, "re-encode GOP")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("edit: -in and -out required")
+	}
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	return vdsms.ApplyEdits(dst, src, vdsms.EditOptions{
+		Brightness:    *brightness,
+		Contrast:      *contrast,
+		NoiseAmp:      *noise,
+		ReorderSegSec: *reorder,
+		Seed:          *seed,
+		Quality:       *quality,
+		GOP:           *gop,
+	})
+}
+
+func scenarioCmd(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	dir := fs.String("dir", "", "output directory (required)")
+	queries := fs.Int("queries", 10, "number of query videos")
+	edited := fs.Bool("edited", false, "edit copies before insertion (VS2)")
+	seed := fs.Int64("seed", 1, "scenario seed")
+	shortMin := fs.Float64("short-min", 0, "min short-video duration (seconds; 0 = default)")
+	shortMax := fs.Float64("short-max", 0, "max short-video duration (seconds)")
+	gapMin := fs.Float64("gap-min", 0, "min gap between inserts (seconds)")
+	gapMax := fs.Float64("gap-max", 0, "max gap between inserts (seconds)")
+	keyFPS := fs.Float64("keyfps", 0, "key-frame rate (0 = default 2)")
+	quality := fs.Int("quality", 0, "encoder quality (0 = default)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("scenario: -dir required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	wl := workload.Build(workload.Config{
+		NumShorts: *queries, Seed: *seed, Edited: *edited,
+		ShortMinSec: *shortMin, ShortMaxSec: *shortMax,
+		GapMinSec: *gapMin, GapMaxSec: *gapMax,
+		KeyFPS: *keyFPS, Quality: *quality,
+	})
+	cfg := wl.Cfg
+
+	// Stream.
+	sf, err := os.Create(filepath.Join(*dir, "stream.mvc"))
+	if err != nil {
+		return err
+	}
+	if _, err := mpeg.EncodeSource(sf, wl.Stream, cfg.Quality, 1); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	// Queries.
+	for _, q := range wl.Queries {
+		qf, err := os.Create(filepath.Join(*dir, fmt.Sprintf("query-%d.mvc", q.ID)))
+		if err != nil {
+			return err
+		}
+		if _, err := mpeg.EncodeSource(qf, q.Video, cfg.Quality, 1); err != nil {
+			qf.Close()
+			return err
+		}
+		if err := qf.Close(); err != nil {
+			return err
+		}
+	}
+	// Ground truth in seconds.
+	tf, err := os.Create(filepath.Join(*dir, "truth.txt"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	for _, ins := range wl.Truth {
+		fmt.Fprintf(tf, "%d %.2f %.2f\n", ins.QueryID,
+			float64(ins.Begin)/cfg.KeyFPS, float64(ins.End)/cfg.KeyFPS)
+	}
+	fmt.Printf("wrote %s: stream.mvc (%d key frames), %d queries, truth.txt\n",
+		*dir, wl.Stream.Len(), len(wl.Queries))
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command vcdmon continuously monitors an MVC1 video stream for copies of
+// query videos, printing one line per detected match.
+//
+// Usage:
+//
+//	vcdmon [-delta 0.7] [-k 800] [-window 5] -q query1.mvc [-q query2.mvc ...] stream.mvc
+//	... | vcdmon -q query.mvc -            # read the stream from stdin
+//
+// Query ids are assigned in flag order starting at 1; pass "id=path" to
+// choose explicit ids (e.g. -q 7=ad.mvc). Matches are printed as:
+//
+//	MATCH query=<id> at=<sec> start=<sec> end=<sec> sim=<value>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vdsms"
+)
+
+// queryFlags accumulates repeated -q flags.
+type queryFlags []string
+
+func (q *queryFlags) String() string     { return strings.Join(*q, ",") }
+func (q *queryFlags) Set(v string) error { *q = append(*q, v); return nil }
+
+func main() {
+	var qs queryFlags
+	delta := flag.Float64("delta", 0.7, "similarity threshold δ")
+	k := flag.Int("k", 800, "number of min-hash functions")
+	window := flag.Float64("window", 5, "basic window (seconds)")
+	keyFPS := flag.Float64("keyfps", 2, "expected key-frame rate of the stream")
+	loadSet := flag.String("load-queries", "", "restore subscriptions from a saved query set")
+	saveSet := flag.String("save-queries", "", "after subscribing, save the query set to this file")
+	archiveDir := flag.String("archive-dir", "", "save matched stream segments as clips in this directory")
+	archiveSec := flag.Float64("archive-sec", 120, "seconds of stream retained for archiving")
+	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 || (len(qs) == 0 && *loadSet == "") {
+		fmt.Fprintln(os.Stderr, "usage: vcdmon [flags] -q query.mvc ... <stream.mvc|->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = *delta
+	cfg.K = *k
+	cfg.WindowSec = *window
+	cfg.KeyFPS = *keyFPS
+	if *archiveDir != "" {
+		cfg.ArchiveSec = *archiveSec
+	}
+	var det *vdsms.Detector
+	var err error
+	if *loadSet != "" {
+		f, err2 := os.Open(*loadSet)
+		if err2 != nil {
+			fatal(err2)
+		}
+		det, err = vdsms.LoadDetector(cfg, f)
+		f.Close()
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "restored %d queries from %s\n", det.NumQueries(), *loadSet)
+		}
+	} else {
+		det, err = vdsms.NewDetector(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, spec := range qs {
+		id := i + 1
+		path := spec
+		if eq := strings.IndexByte(spec, '='); eq > 0 {
+			if v, err := strconv.Atoi(spec[:eq]); err == nil {
+				id, path = v, spec[eq+1:]
+			}
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = det.AddQuery(id, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("loading query %s: %w", path, err))
+		}
+		fmt.Fprintf(os.Stderr, "subscribed query %d (%s)\n", id, path)
+	}
+
+	if *saveSet != "" {
+		f, err := os.Create(*saveSet)
+		if err != nil {
+			fatal(err)
+		}
+		if err := det.SaveQueries(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved query set to %s\n", *saveSet)
+	}
+
+	var stream io.Reader
+	if flag.Arg(0) == "-" {
+		stream = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		stream = f
+	}
+
+	det.OnMatch = func(m vdsms.Match) {
+		fmt.Printf("MATCH query=%d at=%.1fs start=%.1fs end=%.1fs sim=%.3f\n",
+			m.QueryID, m.DetectedAt.Seconds(), m.Start.Seconds(), m.End.Seconds(), m.Similarity)
+	}
+	if *archiveDir != "" {
+		if err := os.MkdirAll(*archiveDir, 0o755); err != nil {
+			fatal(err)
+		}
+		det.OnMatchClip = func(m vdsms.Match, clip []byte) {
+			name := fmt.Sprintf("%s/match-q%d-%ds.mvc", *archiveDir, m.QueryID, int(m.DetectedAt.Seconds()))
+			if err := os.WriteFile(name, clip, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "vcdmon: archiving:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "archived %s (%d bytes)\n", name, len(clip))
+		}
+	}
+	if _, err := det.Monitor(stream); err != nil {
+		fatal(err)
+	}
+	st := det.Stats()
+	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",
+		st.Frames, st.Windows, st.Matches, st.AvgSignatures())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcdmon:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command vcdserve runs the copy-detection HTTP service.
+//
+//	vcdserve [-addr :8654] [-delta 0.7] [-k 800] [-window 5] [-keyfps 2] [-queries set.vqs]
+//
+// Endpoints:
+//
+//	PUT    /queries/{id}    body: MVC1 clip   subscribe a query video
+//	DELETE /queries/{id}                      unsubscribe
+//	GET    /queries                           subscription count
+//	POST   /streams/{name}  body: MVC1 stream monitor; matches stream back as NDJSON
+//	GET    /stats                             service counters
+//
+// Example session (with vcdgen-produced files):
+//
+//	curl -X PUT --data-binary @ad.mvc     localhost:8654/queries/1
+//	curl -X POST --data-binary @feed.mvc  localhost:8654/streams/channel-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"vdsms"
+	"vdsms/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8654", "listen address")
+	delta := flag.Float64("delta", 0.7, "similarity threshold δ")
+	k := flag.Int("k", 800, "number of min-hash functions")
+	window := flag.Float64("window", 5, "basic window (seconds)")
+	keyFPS := flag.Float64("keyfps", 2, "expected key-frame rate of monitored streams")
+	flag.Parse()
+
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = *delta
+	cfg.K = *k
+	cfg.WindowSec = *window
+	cfg.KeyFPS = *keyFPS
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcdserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("vcdserve listening on %s (K=%d δ=%.2f w=%.0fs)", *addr, cfg.K, cfg.Delta, cfg.WindowSec)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package vdsms_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"vdsms"
+)
+
+// Example demonstrates end-to-end copy detection: a synthetic query clip
+// is embedded (with edits and segment reordering) in a longer stream and
+// found by the detector.
+func Example() {
+	mk := func(seed int64, seconds float64) []byte {
+		var b bytes.Buffer
+		err := vdsms.Synthesize(&b, vdsms.VideoOptions{
+			Seconds: seconds, FPS: 2, W: 96, H: 80, Seed: seed, GOP: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	query := mk(1, 20)
+
+	// Manufacture a pirated copy: brightness shift plus shot reordering.
+	var pirated bytes.Buffer
+	err := vdsms.ApplyEdits(&pirated, bytes.NewReader(query), vdsms.EditOptions{
+		Brightness: 15, ReorderSegSec: 5, Seed: 2, GOP: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stream bytes.Buffer
+	err = vdsms.ComposeStream(&stream, 75, 1,
+		bytes.NewReader(mk(100, 30)),
+		bytes.NewReader(pirated.Bytes()),
+		bytes.NewReader(mk(101, 30)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = 0.6
+	det, err := vdsms.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := det.Monitor(&stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		// The copy occupies stream time [30 s, 50 s).
+		if m.QueryID == 1 && m.DetectedAt.Seconds() >= 30 && m.DetectedAt.Seconds() <= 60 {
+			found = true
+		}
+	}
+	fmt.Println("reordered copy detected:", found)
+	// Output: reordered copy detected: true
+}

@@ -1,0 +1,118 @@
+// Many concurrent continuous queries with live subscribe/unsubscribe: a
+// monitoring service tracking dozens of client videos over one stream,
+// adding and dropping subscriptions while the stream flows — the workload
+// the Hash-Query index of paper Section V.C exists for.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"vdsms"
+)
+
+func synth(seed int64, seconds float64) []byte {
+	var b bytes.Buffer
+	err := vdsms.Synthesize(&b, vdsms.VideoOptions{
+		Seconds: seconds, FPS: 2, W: 96, H: 80, Seed: seed, GOP: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func main() {
+	// 40 client videos under continuous monitoring.
+	const numQueries = 40
+	clips := make(map[int][]byte, numQueries)
+	for id := 1; id <= numQueries; id++ {
+		clips[id] = synth(int64(1000+id), 15)
+	}
+
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = 0.6
+	det, err := vdsms.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, c := range clips {
+		if err := det.AddQuery(id, bytes.NewReader(c)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	det.OnMatch = func(m vdsms.Match) {
+		fmt.Printf("  live: query %d at %v (sim %.2f)\n", m.QueryID, m.DetectedAt, m.Similarity)
+	}
+
+	// Segment 1: background with copies of queries 7 and 23.
+	var seg1 bytes.Buffer
+	err = vdsms.ComposeStream(&seg1, 75, 1,
+		bytes.NewReader(synth(2000, 40)),
+		bytes.NewReader(clips[7]),
+		bytes.NewReader(synth(2001, 40)),
+		bytes.NewReader(clips[23]),
+		bytes.NewReader(synth(2002, 30)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("segment 1 (queries 1-40 subscribed):")
+	m1, err := det.Monitor(&seg1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client 23 cancels; a new client 41 subscribes — all without
+	// restarting the detector (online index update, Section V.C.1).
+	if err := det.RemoveQuery(23); err != nil {
+		log.Fatal(err)
+	}
+	clips[41] = synth(1041, 15)
+	if err := det.AddQuery(41, bytes.NewReader(clips[41])); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unsubscribed 23, subscribed 41")
+
+	// Segment 2: copies of 23 (now unmonitored) and 41 (new).
+	var seg2 bytes.Buffer
+	err = vdsms.ComposeStream(&seg2, 75, 1,
+		bytes.NewReader(synth(2003, 30)),
+		bytes.NewReader(clips[23]),
+		bytes.NewReader(synth(2004, 30)),
+		bytes.NewReader(clips[41]),
+		bytes.NewReader(synth(2005, 30)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("segment 2:")
+	m2, err := det.Monitor(&seg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	got := map[int]bool{}
+	for _, m := range append(m1, m2...) {
+		got[m.QueryID] = true
+	}
+	switch {
+	case !got[7] || !got[41]:
+		log.Fatal("expected matches for queries 7 and 41")
+	case got[23] && len(m2) > 0 && anyQ(m2, 23):
+		log.Fatal("query 23 matched after unsubscribe")
+	}
+	st := det.Stats()
+	fmt.Printf("done: %d queries live, %d windows processed, %.1f signatures in memory on average\n",
+		det.NumQueries(), st.Windows, st.AvgSignatures())
+}
+
+func anyQ(ms []vdsms.Match, qid int) bool {
+	for _, m := range ms {
+		if m.QueryID == qid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+// Multi-stream monitoring: one query set, many concurrent broadcast
+// streams — the paper's "many concurrent video streams, and for each
+// stream ... many continuous video copy monitoring queries" deployment.
+// Each stream gets its own Detector goroutine; all detectors share the
+// subscriptions, the sketches and the Hash-Query index, so subscribing a
+// query once covers every channel. The query set is also saved and
+// restored, showing how a monitor restarts without re-decoding queries.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+
+	"vdsms"
+)
+
+func synth(seed int64, seconds float64) []byte {
+	var b bytes.Buffer
+	err := vdsms.Synthesize(&b, vdsms.VideoOptions{
+		Seconds: seconds, FPS: 2, W: 96, H: 80, Seed: seed, GOP: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func main() {
+	// Protected content: three clips under monitoring.
+	queries := map[int][]byte{
+		1: synth(11, 20),
+		2: synth(12, 25),
+		3: synth(13, 15),
+	}
+
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = 0.6
+	root, err := vdsms.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, c := range queries {
+		if err := root.AddQuery(id, bytes.NewReader(c)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Persist the subscriptions, then restart from disk bytes — queries
+	// survive without re-decoding the clips.
+	var snapshot bytes.Buffer
+	if err := root.SaveQueries(&snapshot); err != nil {
+		log.Fatal(err)
+	}
+	root, err = vdsms.LoadDetector(cfg, bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d queries from a %d-byte snapshot\n",
+		root.NumQueries(), snapshot.Len())
+
+	// Four broadcast channels: channel c airs a copy of query (c%3)+1;
+	// channel 3 airs nothing of interest.
+	channels := make([][]byte, 4)
+	for c := range channels {
+		var stream bytes.Buffer
+		parts := []*bytes.Reader{
+			bytes.NewReader(synth(int64(100+c), 40)),
+		}
+		if c < 3 {
+			parts = append(parts, bytes.NewReader(queries[c+1]))
+		}
+		parts = append(parts, bytes.NewReader(synth(int64(200+c), 40)))
+		irs := make([]io.Reader, len(parts))
+		for i, p := range parts {
+			irs[i] = p
+		}
+		if err := vdsms.ComposeStream(&stream, 75, 1, irs...); err != nil {
+			log.Fatal(err)
+		}
+		channels[c] = stream.Bytes()
+	}
+
+	// One detector goroutine per channel, all sharing the query set.
+	var wg sync.WaitGroup
+	type result struct {
+		channel int
+		matches []vdsms.Match
+	}
+	results := make([]result, len(channels))
+	for c := range channels {
+		det := root
+		if c > 0 {
+			det, err = root.NewStream()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		wg.Add(1)
+		go func(c int, det *vdsms.Detector) {
+			defer wg.Done()
+			ms, err := det.Monitor(bytes.NewReader(channels[c]))
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[c] = result{channel: c, matches: ms}
+		}(c, det)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if len(r.matches) == 0 {
+			fmt.Printf("channel %d: clean\n", r.channel)
+			continue
+		}
+		for _, m := range r.matches {
+			fmt.Printf("channel %d: query %d at %v (sim %.2f)\n",
+				r.channel, m.QueryID, m.DetectedAt, m.Similarity)
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if len(results[c].matches) == 0 {
+			log.Fatalf("channel %d missed its copy", c)
+		}
+	}
+	if len(results[3].matches) != 0 {
+		log.Fatal("channel 3 false positive")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: subscribe one query video and find a copy of it inside a
+// longer stream. Everything is generated in memory — no video assets
+// needed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"vdsms"
+)
+
+func main() {
+	// 1. Make a 20-second "query" video — the content we want to protect.
+	//    (In a real deployment this is your advertisement, film sample, …)
+	var query bytes.Buffer
+	opts := vdsms.VideoOptions{Seconds: 20, FPS: 2, W: 96, H: 80, Seed: 42, GOP: 1}
+	if err := vdsms.Synthesize(&query, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a broadcast stream: background, the query verbatim, more
+	//    background.
+	clip := func(seed int64, seconds float64) *bytes.Reader {
+		var b bytes.Buffer
+		o := opts
+		o.Seed, o.Seconds = seed, seconds
+		if err := vdsms.Synthesize(&b, o); err != nil {
+			log.Fatal(err)
+		}
+		return bytes.NewReader(b.Bytes())
+	}
+	var stream bytes.Buffer
+	if err := vdsms.ComposeStream(&stream, 75, 1,
+		clip(100, 60), bytes.NewReader(query.Bytes()), clip(101, 60)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Detect. DefaultConfig is the paper's Table I: K=800 min-hashes,
+	//    δ=0.7, 5-second basic windows, bit signatures + query index.
+	det, err := vdsms.NewDetector(vdsms.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(query.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := det.Monitor(&stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report. The copy sits at [60s, 80s); expect detections inside it.
+	fmt.Printf("%d match(es); copy was inserted at 60s-80s\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  query %d matched %v-%v (similarity %.2f)\n",
+			m.QueryID, m.Start, m.End, m.Similarity)
+	}
+	if len(matches) == 0 {
+		log.Fatal("expected the embedded copy to be detected")
+	}
+}

@@ -1,0 +1,142 @@
+// Reordered copies — the paper's headline robustness claim, demonstrated
+// head-to-head: a copy whose segments are shuffled (and photometrically
+// edited) is detected by the set-similarity sketch method, while the
+// frame-order baselines of Hampapur et al. [1] (Seq) and Chiu et al. [6]
+// (Warp) report it as dissimilar.
+//
+// This example reaches below the public facade into the internal packages
+// to run the baseline matchers side by side with the detector; quickstart
+// and admonitor show the facade-only workflow.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"vdsms"
+	"vdsms/internal/baseline"
+	"vdsms/internal/feature"
+	"vdsms/internal/mpeg"
+)
+
+func synth(seed int64, seconds float64) []byte {
+	var b bytes.Buffer
+	err := vdsms.Synthesize(&b, vdsms.VideoOptions{
+		Seconds: seconds, FPS: 2, W: 96, H: 80, Seed: seed, GOP: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// feats extracts the compressed-domain feature sequence of a clip — the
+// same front end all three methods share ("fair comparison", paper VI.E).
+func feats(clip []byte) [][]float64 {
+	ex, err := feature.NewExtractor(feature.Config{D: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcs, _, err := mpeg.ReadAllDC(bytes.NewReader(clip))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([][]float64, len(dcs))
+	for i, dcf := range dcs {
+		out[i] = ex.Vector(dcf)
+	}
+	return out
+}
+
+func main() {
+	original := synth(7, 30)
+
+	// The pirate's copy: brightness/contrast shifted, noisy, and re-cut
+	// into a different story line (segments of 6 s, shuffled).
+	var pirated bytes.Buffer
+	err := vdsms.ApplyEdits(&pirated, bytes.NewReader(original), vdsms.EditOptions{
+		Brightness:    15,
+		Contrast:      1.1,
+		NoiseAmp:      5,
+		ReorderSegSec: 6,
+		Seed:          3,
+		GOP:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	err = vdsms.ComposeStream(&stream, 75, 1,
+		bytes.NewReader(synth(500, 60)),
+		bytes.NewReader(pirated.Bytes()),
+		bytes.NewReader(synth(501, 60)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Proposed method: min-hash sketches + bit signatures.
+	cfg := vdsms.DefaultConfig()
+	cfg.Delta = 0.6
+	det, err := vdsms.NewDetector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(original)); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := det.Monitor(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sketch method: %d match(es)\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  %v-%v similarity %.2f\n", m.Start, m.End, m.Similarity)
+	}
+
+	// --- Baselines on the identical feature stream.
+	qf := feats(original)
+	sf := feats(stream.Bytes())
+	for _, bl := range []struct {
+		name string
+		cfg  baseline.Config
+	}{
+		{"Seq [1] (frame-aligned)", baseline.Config{Kind: baseline.Seq, Threshold: 0.25, Gap: 10}},
+		{"Warp [6] (DTW, r=6)", baseline.Config{Kind: baseline.Warp, Threshold: 0.25, Gap: 10, Band: 6}},
+	} {
+		m, err := baseline.New(bl.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.AddQuery(1, qf); err != nil {
+			log.Fatal(err)
+		}
+		best := -1.0
+		for _, f := range sf {
+			m.Push(f)
+		}
+		// Also report the best (smallest) distance the baseline saw, by
+		// re-running with an infinite threshold.
+		probe, _ := baseline.New(baseline.Config{
+			Kind: bl.cfg.Kind, Threshold: 1e18, Gap: bl.cfg.Gap, Band: bl.cfg.Band,
+		})
+		probe.AddQuery(1, qf)
+		for _, f := range sf {
+			probe.Push(f)
+		}
+		for _, mt := range probe.Matches {
+			if best < 0 || mt.Distance < best {
+				best = mt.Distance
+			}
+		}
+		fmt.Printf("%s: %d match(es); best distance %.3f (threshold %.2f)\n",
+			bl.name, len(m.Matches), best, bl.cfg.Threshold)
+	}
+
+	if len(matches) == 0 {
+		log.Fatal("sketch method should have detected the reordered copy")
+	}
+	fmt.Println("\nconclusion: set similarity survives re-editing; frame-order distances do not.")
+}

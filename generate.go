@@ -1,0 +1,205 @@
+package vdsms
+
+import (
+	"fmt"
+	"io"
+
+	"vdsms/internal/edit"
+	"vdsms/internal/mpeg"
+	"vdsms/internal/vframe"
+)
+
+// VideoOptions parameterises synthetic video generation.
+type VideoOptions struct {
+	// Seconds is the clip duration (default 10).
+	Seconds float64
+	// FPS is the frame rate (default 30).
+	FPS float64
+	// W, H are the dimensions, multiples of 16 (default 176×144).
+	W, H int
+	// Seed determines the content; distinct seeds yield distinct videos.
+	Seed int64
+	// Quality is the encoder quality 1..100 (default 75).
+	Quality int
+	// GOP is the I-frame interval (default 15).
+	GOP int
+	// SceneCutSAD, when positive, enables content-adaptive I-frames: shot
+	// boundaries are promoted to key frames even mid-GOP (typical values
+	// 8–25). Zero disables.
+	SceneCutSAD float64
+	// DisableMC turns off motion compensation (zero-motion prediction),
+	// for codec ablation.
+	DisableMC bool
+}
+
+func (o *VideoOptions) defaults() {
+	if o.Seconds == 0 {
+		o.Seconds = 10
+	}
+	if o.FPS == 0 {
+		o.FPS = 30
+	}
+	if o.W == 0 {
+		o.W = 176
+	}
+	if o.H == 0 {
+		o.H = 144
+	}
+	if o.Quality == 0 {
+		o.Quality = 75
+	}
+	if o.GOP == 0 {
+		o.GOP = 15
+	}
+}
+
+func (o VideoOptions) source() vframe.Source {
+	n := int(o.Seconds * o.FPS)
+	if n < 1 {
+		n = 1
+	}
+	return vframe.NewSynth(vframe.SynthConfig{
+		W: o.W, H: o.H, FPS: o.FPS, NumFrames: n, Seed: o.Seed,
+	})
+}
+
+// Synthesize writes a deterministic synthetic video as an encoded MVC1
+// stream, so examples and tests run without any real video assets.
+func Synthesize(w io.Writer, o VideoOptions) error {
+	o.defaults()
+	src := o.source()
+	num, den := uint32(o.FPS), uint32(1)
+	if o.FPS != float64(int(o.FPS)) {
+		num, den = uint32(o.FPS*1000), 1000
+	}
+	enc, err := mpeg.NewEncoder(w, mpeg.StreamHeader{
+		W: o.W, H: o.H, FPSNum: num, FPSDen: den, Quality: o.Quality, GOP: o.GOP,
+	})
+	if err != nil {
+		return err
+	}
+	enc.SceneCutSAD = o.SceneCutSAD
+	enc.DisableMC = o.DisableMC
+	for i := 0; i < src.Len(); i++ {
+		if _, err := enc.WriteFrame(src.Frame(i)); err != nil {
+			return fmt.Errorf("vdsms: encoding frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EditOptions describes a copy-manufacturing attack: photometric edits,
+// noise, resolution and frame-rate changes, and temporal segment
+// reordering. Zero fields leave the corresponding property unchanged.
+type EditOptions struct {
+	// Brightness is added to luma (e.g. ±20..60).
+	Brightness float64
+	// Contrast scales luma around mid-grey (1 = unchanged).
+	Contrast float64
+	// NoiseAmp adds uniform luma noise of the given amplitude.
+	NoiseAmp float64
+	// ColorShift offsets both chroma planes.
+	ColorShift float64
+	// TargetW/TargetH rescale frames (multiples of 16).
+	TargetW, TargetH int
+	// TargetFPS resamples the frame rate.
+	TargetFPS float64
+	// ReorderSegSec, when positive, shuffles segments of this duration —
+	// the temporal re-editing attack the paper targets.
+	ReorderSegSec float64
+	// Seed drives noise and reordering determinism.
+	Seed int64
+	// Quality and GOP control the re-encode (defaults 75 and 15).
+	Quality, GOP int
+}
+
+// ApplyEdits decodes an MVC1 clip from src, applies the attack, and
+// re-encodes the result to dst. The clip is materialised in memory, so use
+// this on clips, not long streams.
+func ApplyEdits(dst io.Writer, src io.Reader, o EditOptions) error {
+	frames, hdr, err := mpeg.DecodeAll(src)
+	if err != nil {
+		return fmt.Errorf("vdsms: decoding clip: %w", err)
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("vdsms: empty clip")
+	}
+	if o.Quality == 0 {
+		o.Quality = 75
+	}
+	if o.GOP == 0 {
+		o.GOP = 15
+	}
+	var out vframe.Source = vframe.FromFrames(frames, hdr.FPS())
+	a := edit.Attack{
+		BrightnessDelta: o.Brightness,
+		ContrastFactor:  o.Contrast,
+		CbShift:         o.ColorShift,
+		CrShift:         o.ColorShift,
+		NoiseAmp:        o.NoiseAmp,
+		NoiseSeed:       o.Seed,
+		TargetW:         o.TargetW,
+		TargetH:         o.TargetH,
+		TargetFPS:       o.TargetFPS,
+		ReorderSeed:     o.Seed * 17,
+	}
+	if o.ReorderSegSec > 0 {
+		fps := out.FPS()
+		if o.TargetFPS > 0 {
+			fps = o.TargetFPS
+		}
+		a.SegmentFrames = int(o.ReorderSegSec * fps)
+		if a.SegmentFrames < 1 {
+			a.SegmentFrames = 1
+		}
+	}
+	out = a.Apply(out)
+	if _, err := mpeg.EncodeSource(dst, out, o.Quality, o.GOP); err != nil {
+		return fmt.Errorf("vdsms: re-encoding clip: %w", err)
+	}
+	return nil
+}
+
+// ComposeStream concatenates encoded MVC1 clips into one stream encoded
+// with the given quality and GOP. All clips must share dimensions; frame
+// rates are taken from the first clip (clips are assumed rate-conformed —
+// use ApplyEdits with TargetFPS first if they are not). Decoding and
+// re-encoding happen clip by clip, so memory stays bounded by one clip.
+func ComposeStream(dst io.Writer, quality, gop int, clips ...io.Reader) error {
+	if len(clips) == 0 {
+		return fmt.Errorf("vdsms: no clips")
+	}
+	var enc *mpeg.Encoder
+	for i, clip := range clips {
+		dec, err := mpeg.NewDecoder(clip)
+		if err != nil {
+			return fmt.Errorf("vdsms: clip %d: %w", i, err)
+		}
+		h := dec.Header()
+		if enc == nil {
+			enc, err = mpeg.NewEncoder(dst, mpeg.StreamHeader{
+				W: h.W, H: h.H, FPSNum: h.FPSNum, FPSDen: h.FPSDen,
+				Quality: quality, GOP: gop,
+			})
+			if err != nil {
+				return err
+			}
+		} else if h.W != enc.Header().W || h.H != enc.Header().H {
+			return fmt.Errorf("vdsms: clip %d geometry %dx%d differs from stream %dx%d",
+				i, h.W, h.H, enc.Header().W, enc.Header().H)
+		}
+		for {
+			f, _, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("vdsms: clip %d: %w", i, err)
+			}
+			if _, err := enc.WriteFrame(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module vdsms
+
+go 1.22

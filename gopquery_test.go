@@ -1,0 +1,98 @@
+package vdsms
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestQueryFromFullRateClip: a query supplied as a full-rate clip (30 fps,
+// GOP 15 → 2 key frames/s) must match a key-frame-rate stream carrying the
+// same content — the two pipelines meet at the key-frame fingerprints.
+func TestQueryFromFullRateClip(t *testing.T) {
+	fullOpts := VideoOptions{Seconds: 20, FPS: 30, W: 96, H: 80, Seed: 91, Quality: 80, GOP: 15}
+	var fullClip bytes.Buffer
+	if err := Synthesize(&fullClip, fullOpts); err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(testConfig()) // expects 2 key fps; 30/15 = 2 ✓
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(fullClip.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream: the same content generated at key-frame rate, between
+	// unrelated background.
+	keyOpts := fullOpts
+	keyOpts.FPS, keyOpts.GOP = 2, 1
+	var copyClip bytes.Buffer
+	if err := Synthesize(&copyClip, keyOpts); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 1,
+		bytes.NewReader(clip(t, 920, 30)),
+		bytes.NewReader(copyClip.Bytes()),
+		bytes.NewReader(clip(t, 921, 30)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := det.Monitor(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Error("full-rate query did not match the key-frame-rate stream")
+	}
+}
+
+// TestMonitorFullRateStream: a full-rate broadcast (30 fps, GOP 15) is
+// monitored directly — the partial decoder skips the P frames and the
+// detector sees the 2/s key frames it expects.
+func TestMonitorFullRateStream(t *testing.T) {
+	det, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryOpts := VideoOptions{Seconds: 20, FPS: 30, W: 96, H: 80, Seed: 92, Quality: 80, GOP: 15}
+	var query bytes.Buffer
+	if err := Synthesize(&query, queryOpts); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(query.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Full-rate stream: background + the query content + background, all
+	// at 30 fps GOP 15 (one ComposeStream so GOP alignment is continuous).
+	bg := func(seed int64) []byte {
+		var b bytes.Buffer
+		o := queryOpts
+		o.Seed, o.Seconds = seed, 30
+		if err := Synthesize(&b, o); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 15,
+		bytes.NewReader(bg(930)),
+		bytes.NewReader(query.Bytes()),
+		bytes.NewReader(bg(931)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := det.Monitor(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Error("copy not detected in a full-rate GOP-15 stream")
+	}
+	st := det.Stats()
+	if st.Frames < 155 || st.Frames > 165 { // 80 s × 2 key fps ≈ 160
+		t.Errorf("detector saw %d key frames, want ≈160", st.Frames)
+	}
+}

@@ -1,0 +1,239 @@
+// Package baseline implements the two subsequence-matching comparators of
+// the paper's Section VI.E study:
+//
+//   - Seq, after Hampapur et al. [1]: a query-length window slides over the
+//     stream with a fixed gap; similarity is the average per-frame feature
+//     distance of the aligned frames.
+//   - Warp, after Chiu et al. [6]: the same sliding window scored by dynamic
+//     time warping with a Sakoe–Chiba band of width r, which tolerates
+//     local temporal variations at a CPU cost that grows with r.
+//
+// Both operate on the same compressed-domain feature vectors as the sketch
+// method ("To provide a fair comparison, we also use our compressed domain
+// feature extraction method"), and both are expected to degrade on
+// temporally reordered copies — which is the paper's point.
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the matcher algorithm.
+type Kind int
+
+const (
+	// Seq is frame-aligned average distance (Hampapur et al.).
+	Seq Kind = iota
+	// Warp is banded dynamic time warping (Chiu et al.).
+	Warp
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Warp {
+		return "warp"
+	}
+	return "seq"
+}
+
+// Config parameterises a Matcher.
+type Config struct {
+	Kind Kind
+	// Threshold is the maximum average per-frame distance for a match.
+	Threshold float64
+	// Gap is the sliding step in key frames (the baselines' "basic window").
+	Gap int
+	// Band is the Sakoe–Chiba band half-width r (Warp only, >= 0;
+	// 0 degenerates to Seq alignment).
+	Band int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Kind != Seq && c.Kind != Warp {
+		return fmt.Errorf("baseline: unknown kind %d", c.Kind)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("baseline: negative threshold")
+	}
+	if c.Gap <= 0 {
+		return fmt.Errorf("baseline: gap %d must be positive", c.Gap)
+	}
+	if c.Band < 0 {
+		return fmt.Errorf("baseline: band %d must be >= 0", c.Band)
+	}
+	return nil
+}
+
+// Match is one detection.
+type Match struct {
+	QueryID  int
+	EndFrame int // key-frame index just past the matching window
+	Distance float64
+}
+
+// Matcher is the streaming baseline detector. Feed key-frame feature
+// vectors via Push; matches accumulate in Matches.
+type Matcher struct {
+	cfg     Config
+	queries map[int][][]float64
+	maxLen  int
+	buf     [][]float64 // ring of the last maxLen frames
+	start   int         // ring start
+	n       int         // frames in ring
+	frame   int         // total frames consumed
+	Matches []Match
+	// FrameDistances counts elementary frame-pair distance computations,
+	// the CPU proxy for the Fig. 12 comparison.
+	FrameDistances int64
+}
+
+// New builds a matcher.
+func New(cfg Config) (*Matcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Matcher{cfg: cfg, queries: make(map[int][][]float64)}, nil
+}
+
+// AddQuery registers a query's feature sequence.
+func (m *Matcher) AddQuery(id int, feats [][]float64) error {
+	if len(feats) == 0 {
+		return fmt.Errorf("baseline: query %d empty", id)
+	}
+	if _, dup := m.queries[id]; dup {
+		return fmt.Errorf("baseline: query %d already registered", id)
+	}
+	m.queries[id] = feats
+	if len(feats) > m.maxLen {
+		m.maxLen = len(feats)
+		// Grow the ring, preserving content order.
+		old := m.window(m.n)
+		m.buf = make([][]float64, m.maxLen)
+		copy(m.buf, old)
+		m.start = 0
+		m.n = len(old)
+	}
+	return nil
+}
+
+// Push consumes the next key-frame feature vector, evaluating all queries
+// every Gap frames.
+func (m *Matcher) Push(vec []float64) {
+	if m.maxLen == 0 {
+		m.frame++
+		return
+	}
+	pos := (m.start + m.n) % m.maxLen
+	if m.n == m.maxLen {
+		m.buf[m.start] = vec
+		m.start = (m.start + 1) % m.maxLen
+	} else {
+		m.buf[pos] = vec
+		m.n++
+	}
+	m.frame++
+	if m.frame%m.cfg.Gap == 0 {
+		m.evaluate()
+	}
+}
+
+// window returns the last n buffered frames in stream order.
+func (m *Matcher) window(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	for i := m.n - n; i < m.n; i++ {
+		out = append(out, m.buf[(m.start+i)%m.maxLen])
+	}
+	return out
+}
+
+// evaluate scores every query whose window fits in the buffer.
+func (m *Matcher) evaluate() {
+	for id, q := range m.queries {
+		if m.n < len(q) {
+			continue
+		}
+		w := m.window(len(q))
+		var d float64
+		if m.cfg.Kind == Seq {
+			d = m.seqDistance(q, w)
+		} else {
+			d = m.warpDistance(q, w)
+		}
+		if d <= m.cfg.Threshold {
+			m.Matches = append(m.Matches, Match{QueryID: id, EndFrame: m.frame, Distance: d})
+		}
+	}
+}
+
+// seqDistance is the average aligned frame distance.
+func (m *Matcher) seqDistance(q, w [][]float64) float64 {
+	var s float64
+	for i := range q {
+		s += l1(q[i], w[i])
+	}
+	m.FrameDistances += int64(len(q))
+	return s / float64(len(q))
+}
+
+// warpDistance is banded DTW, normalised by the query length. Cells outside
+// the band are unreachable; the band is widened to at least the length
+// difference so a path always exists.
+func (m *Matcher) warpDistance(q, w [][]float64) float64 {
+	n, l := len(q), len(w)
+	band := m.cfg.Band
+	if diff := abs(n - l); band < diff {
+		band = diff
+	}
+	const inf = math.MaxFloat64 / 4
+	prev := make([]float64, l+1)
+	cur := make([]float64, l+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		jLo := max(1, i-band)
+		jHi := min(l, i+band)
+		for j := jLo; j <= jHi; j++ {
+			c := l1(q[i-1], w[j-1])
+			m.FrameDistances++
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	if prev[l] >= inf {
+		return math.Inf(1)
+	}
+	return prev[l] / float64(n)
+}
+
+func l1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

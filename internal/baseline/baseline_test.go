@@ -1,0 +1,277 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// featStream builds a d-dimensional feature stream; content determines the
+// random walk's seed so different contents look different.
+func featStream(content int64, frames, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(content))
+	out := make([][]float64, frames)
+	cur := make([]float64, d)
+	for j := range cur {
+		cur[j] = rng.Float64()
+	}
+	for i := range out {
+		v := make([]float64, d)
+		for j := range v {
+			cur[j] += (rng.Float64() - 0.5) * 0.08
+			if cur[j] < 0 {
+				cur[j] = 0
+			}
+			if cur[j] > 1 {
+				cur[j] = 1
+			}
+			v[j] = cur[j]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func push(m *Matcher, frames [][]float64) {
+	for _, f := range frames {
+		m.Push(f)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Kind: Kind(7), Threshold: 0.1, Gap: 5},
+		{Kind: Seq, Threshold: -1, Gap: 5},
+		{Kind: Seq, Threshold: 0.1, Gap: 0},
+		{Kind: Warp, Threshold: 0.1, Gap: 5, Band: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSeqDetectsExactCopy(t *testing.T) {
+	q := featStream(1, 40, 5)
+	m, err := New(Config{Kind: Seq, Threshold: 0.05, Gap: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddQuery(1, q); err != nil {
+		t.Fatal(err)
+	}
+	push(m, featStream(2, 60, 5))
+	push(m, q)
+	push(m, featStream(3, 60, 5))
+	if len(m.Matches) == 0 {
+		t.Fatal("exact copy not detected by Seq")
+	}
+	// Match should land just after the copy ends (frames 60..100, gap 5).
+	ok := false
+	for _, mt := range m.Matches {
+		if mt.QueryID == 1 && mt.EndFrame >= 100 && mt.EndFrame <= 105 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("no match at the copy's end: %+v", m.Matches)
+	}
+}
+
+func TestWarpDetectsExactCopy(t *testing.T) {
+	q := featStream(4, 40, 5)
+	m, _ := New(Config{Kind: Warp, Threshold: 0.05, Gap: 5, Band: 4})
+	m.AddQuery(1, q)
+	push(m, featStream(5, 60, 5))
+	push(m, q)
+	push(m, featStream(6, 60, 5))
+	if len(m.Matches) == 0 {
+		t.Fatal("exact copy not detected by Warp")
+	}
+}
+
+func TestNoFalseMatchOnDistinctContent(t *testing.T) {
+	q := featStream(7, 40, 5)
+	for _, k := range []Kind{Seq, Warp} {
+		m, _ := New(Config{Kind: k, Threshold: 0.02, Gap: 5, Band: 4})
+		m.AddQuery(1, q)
+		push(m, featStream(8, 300, 5))
+		if len(m.Matches) != 0 {
+			t.Errorf("%v produced %d false matches", k, len(m.Matches))
+		}
+	}
+}
+
+// TestWarpToleratesLocalShift: a copy with a small temporal stutter should
+// still be matched by Warp (with sufficient band) at a threshold where Seq
+// misses it.
+func TestWarpToleratesLocalShift(t *testing.T) {
+	q := featStream(9, 40, 5)
+	// Local variation: drop 2 frames and duplicate 2 others.
+	shifted := make([][]float64, 0, 40)
+	for i, f := range q {
+		if i == 10 || i == 25 {
+			continue // dropped
+		}
+		shifted = append(shifted, f)
+		if i == 15 || i == 30 {
+			shifted = append(shifted, f) // stutter
+		}
+	}
+	dist := func(k Kind, band int) float64 {
+		m, _ := New(Config{Kind: k, Threshold: math.Inf(1), Gap: len(shifted), Band: band})
+		m.AddQuery(1, q)
+		push(m, shifted)
+		if len(m.Matches) == 0 {
+			t.Fatalf("%v produced no evaluation", k)
+		}
+		return m.Matches[0].Distance
+	}
+	seqD := dist(Seq, 0)
+	warpD := dist(Warp, 6)
+	if warpD >= seqD {
+		t.Errorf("Warp distance %g not below Seq distance %g on locally shifted copy", warpD, seqD)
+	}
+}
+
+// TestBaselinesFailOnReorderedCopy documents the weakness the paper
+// exploits: after segment reordering, both baselines report large distances
+// even though the content is identical.
+func TestBaselinesFailOnReorderedCopy(t *testing.T) {
+	q := featStream(10, 60, 5)
+	reordered := append(append(append([][]float64{}, q[40:]...), q[:20]...), q[20:40]...)
+	for _, tc := range []struct {
+		kind Kind
+		band int
+	}{{Seq, 0}, {Warp, 6}} {
+		m, _ := New(Config{Kind: tc.kind, Threshold: math.Inf(1), Gap: 60, Band: tc.band})
+		m.AddQuery(1, q)
+		push(m, reordered)
+		if len(m.Matches) == 0 {
+			t.Fatalf("%v produced no evaluation", tc.kind)
+		}
+		exact := func() float64 {
+			me, _ := New(Config{Kind: tc.kind, Threshold: math.Inf(1), Gap: 60, Band: tc.band})
+			me.AddQuery(1, q)
+			push(me, q)
+			return me.Matches[0].Distance
+		}()
+		if m.Matches[0].Distance < 5*exact+0.01 {
+			t.Errorf("%v: reordered distance %g too close to exact distance %g",
+				tc.kind, m.Matches[0].Distance, exact)
+		}
+	}
+}
+
+func TestWarpBandCostGrows(t *testing.T) {
+	q := featStream(11, 50, 5)
+	stream := featStream(12, 200, 5)
+	cost := func(band int) int64 {
+		m, _ := New(Config{Kind: Warp, Threshold: 0.01, Gap: 10, Band: band})
+		m.AddQuery(1, q)
+		push(m, stream)
+		return m.FrameDistances
+	}
+	if c2, c8 := cost(2), cost(8); c8 <= c2 {
+		t.Errorf("band 8 cost %d not above band 2 cost %d", c8, c2)
+	}
+}
+
+func TestMultipleQueriesAndGap(t *testing.T) {
+	q1 := featStream(13, 30, 5)
+	q2 := featStream(14, 45, 5)
+	m, _ := New(Config{Kind: Seq, Threshold: 0.05, Gap: 5})
+	if err := m.AddQuery(1, q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddQuery(2, q2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddQuery(2, q2); err == nil {
+		t.Error("duplicate AddQuery accepted")
+	}
+	push(m, featStream(15, 50, 5))
+	push(m, q2)
+	push(m, featStream(16, 50, 5))
+	var got1, got2 bool
+	for _, mt := range m.Matches {
+		if mt.QueryID == 1 {
+			got1 = true
+		}
+		if mt.QueryID == 2 {
+			got2 = true
+		}
+	}
+	if got1 {
+		t.Error("query 1 matched spuriously")
+	}
+	if !got2 {
+		t.Error("query 2 copy missed")
+	}
+}
+
+func TestRingBufferGrowthPreservesContent(t *testing.T) {
+	// Adding a longer query mid-stream must keep the buffered tail intact.
+	short := featStream(17, 10, 3)
+	long := featStream(18, 30, 3)
+	m, _ := New(Config{Kind: Seq, Threshold: 0.0, Gap: 1000, Band: 0})
+	m.AddQuery(1, short)
+	pre := featStream(19, 8, 3)
+	push(m, pre)
+	m.AddQuery(2, long)
+	if m.n != 8 {
+		t.Fatalf("ring lost frames on growth: n=%d", m.n)
+	}
+	w := m.window(8)
+	for i := range w {
+		if l1(w[i], pre[i]) != 0 {
+			t.Fatalf("ring content corrupted at %d", i)
+		}
+	}
+}
+
+func TestEmptyQueryRejected(t *testing.T) {
+	m, _ := New(Config{Kind: Seq, Threshold: 0.1, Gap: 5})
+	if err := m.AddQuery(1, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestWarpZeroBandEqualsSeqOnEqualLengths(t *testing.T) {
+	q := featStream(20, 25, 4)
+	w := featStream(21, 25, 4)
+	ms, _ := New(Config{Kind: Seq, Threshold: math.Inf(1), Gap: 25})
+	ms.AddQuery(1, q)
+	push(ms, w)
+	mw, _ := New(Config{Kind: Warp, Threshold: math.Inf(1), Gap: 25, Band: 0})
+	mw.AddQuery(1, q)
+	push(mw, w)
+	// With band 0 the only warping path is the diagonal, so the (length-
+	// normalised) DTW distance equals the Seq average distance.
+	if math.Abs(ms.Matches[0].Distance-mw.Matches[0].Distance) > 1e-9 {
+		t.Errorf("band-0 DTW %g != Seq %g", mw.Matches[0].Distance, ms.Matches[0].Distance)
+	}
+}
+
+func BenchmarkSeqEvaluate(b *testing.B) {
+	q := featStream(22, 60, 5)
+	stream := featStream(23, 600, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, _ := New(Config{Kind: Seq, Threshold: 0.01, Gap: 10})
+		m.AddQuery(1, q)
+		push(m, stream)
+	}
+}
+
+func BenchmarkWarpEvaluateBand8(b *testing.B) {
+	q := featStream(22, 60, 5)
+	stream := featStream(23, 600, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, _ := New(Config{Kind: Warp, Threshold: 0.01, Gap: 10, Band: 8})
+		m.AddQuery(1, q)
+		push(m, stream)
+	}
+}

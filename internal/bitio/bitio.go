@@ -1,0 +1,239 @@
+// Package bitio provides bit-granular writers and readers used by the
+// compressed-video codec. It supports fixed-width bit fields, unsigned and
+// signed Exp-Golomb codes (the variable-length codes used for DCT
+// coefficients and headers), and byte alignment.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the input.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bitstream")
+
+// Writer accumulates bits most-significant-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint8 // partially filled byte
+	nCur uint8 // number of bits used in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most-significant bit first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i)))
+	}
+}
+
+// WriteUE appends v using unsigned Exp-Golomb coding: z zero bits followed
+// by the (z+1)-bit binary representation of v+1, where z = floor(log2(v+1)).
+func (w *Writer) WriteUE(v uint64) {
+	x := v + 1
+	n := bitLen(x)
+	for i := uint(1); i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n)
+}
+
+// WriteSE appends v using signed Exp-Golomb coding with the H.264 mapping:
+// 0→0, 1→1, -1→2, 2→3, -2→4, ...
+func (w *Writer) WriteSE(v int64) {
+	var u uint64
+	if v > 0 {
+		u = uint64(v)*2 - 1
+	} else {
+		u = uint64(-v) * 2
+	}
+	w.WriteUE(u)
+}
+
+// Align pads with zero bits to the next byte boundary.
+func (w *Writer) Align() {
+	for w.nCur != 0 {
+		w.WriteBit(0)
+	}
+}
+
+// Len reports the number of whole bytes written so far (excluding any
+// partially filled byte).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes byte-aligns the stream and returns the underlying buffer. The
+// returned slice is owned by the Writer until Reset is called.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// Reset discards all written data, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// WriteTo byte-aligns the stream and writes the buffer to dst.
+func (w *Writer) WriteTo(dst io.Writer) (int64, error) {
+	n, err := dst.Write(w.Bytes())
+	return int64(n), err
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int   // next byte index
+	cur  uint8 // current byte being consumed
+	nCur uint8 // bits remaining in cur (0..8)
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.nCur == 0 {
+		if r.pos >= len(r.data) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = r.data[r.pos]
+		r.pos++
+		r.nCur = 8
+	}
+	r.nCur--
+	return uint(r.cur>>r.nCur) & 1, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer (MSB first).
+// n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUE decodes an unsigned Exp-Golomb code.
+func (r *Reader) ReadUE() (uint64, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, errors.New("bitio: malformed Exp-Golomb code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<zeros | rest) - 1, nil
+}
+
+// ReadSE decodes a signed Exp-Golomb code (inverse of WriteSE).
+func (r *Reader) ReadSE() (int64, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int64(u/2 + 1), nil
+	}
+	return -int64(u / 2), nil
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() { r.nCur = 0 }
+
+// SkipBits discards the next n bits.
+func (r *Reader) SkipBits(n uint) error {
+	// Fast-forward whole bytes once the current partial byte is drained.
+	for n > 0 && r.nCur > 0 {
+		if _, err := r.ReadBit(); err != nil {
+			return err
+		}
+		n--
+	}
+	whole := int(n / 8)
+	if r.pos+whole > len(r.data) {
+		r.pos = len(r.data)
+		return ErrUnexpectedEOF
+	}
+	r.pos += whole
+	n %= 8
+	for ; n > 0; n-- {
+		if _, err := r.ReadBit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SkipBytes discards n whole bytes after aligning to a byte boundary.
+func (r *Reader) SkipBytes(n int) error {
+	r.Align()
+	if r.pos+n > len(r.data) {
+		r.pos = len(r.data)
+		return ErrUnexpectedEOF
+	}
+	r.pos += n
+	return nil
+}
+
+// ByteOffset reports the index of the next unread byte (after alignment).
+func (r *Reader) ByteOffset() int { return r.pos }
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.data)-r.pos)*8 + int(r.nCur)
+}
+
+// bitLen returns the number of bits needed to represent x (x >= 1).
+func bitLen(x uint64) uint {
+	var n uint
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0xDEADBEEF, 32)
+
+	r := NewReader(w.Bytes())
+	for _, tc := range []struct {
+		n    uint
+		want uint64
+	}{{3, 0b101}, {8, 0xFF}, {5, 0}, {32, 0xDEADBEEF}} {
+		got, err := r.ReadBits(tc.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", tc.n, err)
+		}
+		if got != tc.want {
+			t.Errorf("ReadBits(%d) = %#x, want %#x", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestWriteBitSequence(t *testing.T) {
+	w := NewWriter(4)
+	seq := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range seq {
+		w.WriteBit(b)
+	}
+	if w.BitLen() != len(seq) {
+		t.Fatalf("BitLen = %d, want %d", w.BitLen(), len(seq))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range seq {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestUERoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []uint64{0, 1, 2, 3, 7, 8, 100, 1023, 1024, 1 << 20, 1<<40 + 17}
+	for _, v := range vals {
+		w.WriteUE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadUE()
+		if err != nil {
+			t.Fatalf("ReadUE: %v", err)
+		}
+		if got != want {
+			t.Errorf("ReadUE = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []int64{0, 1, -1, 2, -2, 17, -17, 1 << 30, -(1 << 30)}
+	for _, v := range vals {
+		w.WriteSE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadSE()
+		if err != nil {
+			t.Fatalf("ReadSE: %v", err)
+		}
+		if got != want {
+			t.Errorf("ReadSE = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestUEKnownEncodings(t *testing.T) {
+	// Standard Exp-Golomb codewords: 0→"1", 1→"010", 2→"011", 3→"00100".
+	for _, tc := range []struct {
+		v    uint64
+		bits string
+	}{
+		{0, "1"},
+		{1, "010"},
+		{2, "011"},
+		{3, "00100"},
+		{4, "00101"},
+		{5, "00110"},
+		{6, "00111"},
+		{7, "0001000"},
+	} {
+		w := NewWriter(4)
+		w.WriteUE(tc.v)
+		got := bitString(w)
+		if got != tc.bits {
+			t.Errorf("WriteUE(%d) = %q, want %q", tc.v, got, tc.bits)
+		}
+	}
+}
+
+func bitString(w *Writer) string {
+	n := w.BitLen()
+	r := NewReader(w.Bytes())
+	var s []byte
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		s = append(s, byte('0'+b))
+	}
+	return string(s)
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(1, 3)
+	w.Align()
+	if w.BitLen() != 8 {
+		t.Fatalf("BitLen after Align = %d, want 8", w.BitLen())
+	}
+	w.WriteBits(0xAB, 8)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xAB {
+		t.Errorf("after Align read %#x, want 0xAB", got)
+	}
+}
+
+func TestSkipBits(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(0x3, 2)
+	w.WriteBits(0x5A, 8)
+	r := NewReader(w.Bytes())
+	if err := r.SkipBits(18); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x5A {
+		t.Errorf("after SkipBits read %#x, want 0x5A", got)
+	}
+}
+
+func TestSkipBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4})
+	if err := r.SkipBytes(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("after SkipBytes read %d, want 3", got)
+	}
+	if err := r.SkipBytes(5); err != ErrUnexpectedEOF {
+		t.Errorf("SkipBytes past end = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("ReadBit past end = %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := r.ReadUE(); err == nil {
+		t.Error("ReadUE past end succeeded, want error")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.Remaining() != 24 {
+		t.Fatalf("Remaining = %d, want 24", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 19 {
+		t.Fatalf("Remaining = %d, want 19", r.Remaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatalf("BitLen after Reset = %d", w.BitLen())
+	}
+	w.WriteBits(0x12, 8)
+	if !bytes.Equal(w.Bytes(), []byte{0x12}) {
+		t.Errorf("Bytes after Reset = %v", w.Bytes())
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xABCD, 16)
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("WriteTo = (%d, %v), want (2, nil)", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), []byte{0xAB, 0xCD}) {
+		t.Errorf("WriteTo produced %v", buf.Bytes())
+	}
+}
+
+// Property: any sequence of UE/SE/fixed-width writes reads back identically.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type op struct {
+			kind int
+			u    uint64
+			s    int64
+			w    uint
+		}
+		ops := make([]op, int(n)%64+1)
+		wtr := NewWriter(256)
+		for i := range ops {
+			switch rng.Intn(3) {
+			case 0:
+				ops[i] = op{kind: 0, u: uint64(rng.Int63n(1 << 32))}
+				wtr.WriteUE(ops[i].u)
+			case 1:
+				ops[i] = op{kind: 1, s: rng.Int63n(1<<31) - 1<<30}
+				wtr.WriteSE(ops[i].s)
+			default:
+				width := uint(rng.Intn(33) + 1)
+				ops[i] = op{kind: 2, u: uint64(rng.Int63()) & (1<<width - 1), w: width}
+				wtr.WriteBits(ops[i].u, width)
+			}
+		}
+		rdr := NewReader(wtr.Bytes())
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				v, err := rdr.ReadUE()
+				if err != nil || v != o.u {
+					return false
+				}
+			case 1:
+				v, err := rdr.ReadSE()
+				if err != nil || v != o.s {
+					return false
+				}
+			default:
+				v, err := rdr.ReadBits(o.w)
+				if err != nil || v != o.u {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package bitio
+
+import "testing"
+
+// FuzzReader: arbitrary bytes must never panic the bit reader across its
+// decode operations.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xA5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for i := 0; i < 256; i++ {
+			switch i % 4 {
+			case 0:
+				if _, err := r.ReadUE(); err != nil {
+					return
+				}
+			case 1:
+				if _, err := r.ReadSE(); err != nil {
+					return
+				}
+			case 2:
+				if _, err := r.ReadBits(uint(i % 33)); err != nil {
+					return
+				}
+			default:
+				if err := r.SkipBits(uint(i % 17)); err != nil {
+					return
+				}
+			}
+		}
+	})
+}

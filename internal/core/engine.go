@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vdsms/internal/bitsig"
+	"vdsms/internal/minhash"
+	"vdsms/internal/qindex"
+)
+
+// queryInfo is the per-query state held by a QuerySet.
+type queryInfo struct {
+	id     int
+	frames int // length L in key frames
+	sketch minhash.Sketch
+}
+
+// Engine is the streaming detector for one stream. It consumes one cell id
+// per key frame via PushFrame; matches are delivered to the OnMatch
+// callback (if set) and accumulated in Matches.
+//
+// An Engine is not safe for concurrent use, but engines sharing a QuerySet
+// may run in parallel goroutines — probing is read-locked. Do not call
+// AddQuery/RemoveQuery from inside OnMatch (the query set's lock is held
+// during window processing).
+type Engine struct {
+	cfg Config
+	qs  *QuerySet
+
+	// Stream state.
+	frame  int      // key frames consumed
+	curIDs []uint64 // ids of the window being filled
+
+	seq         []*seqCandidate // Sequential order candidate list C_L
+	geo         []*geoBucket    // Geometric order buckets, oldest first
+	geoReported map[geoKey]bool // match dedup for Geometric cascades
+
+	stats   Stats
+	Matches []Match
+	// OnMatch, when non-nil, is invoked synchronously for every match.
+	OnMatch func(Match)
+}
+
+// NewEngine validates cfg and builds an engine with its own private query
+// set.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	qs, err := NewQuerySet(cfg.K, cfg.Seed, cfg.UseIndex)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, qs: qs}, nil
+}
+
+// NewEngineWith builds an engine monitoring one stream against a shared
+// QuerySet (the multi-stream deployment: one query set, one engine per
+// concurrent stream). cfg.K must match the set's K; cfg.Seed and
+// cfg.UseIndex are taken from the set.
+func NewEngineWith(cfg Config, qs *QuerySet) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K != qs.K() {
+		return nil, fmt.Errorf("core: engine K=%d but query set K=%d", cfg.K, qs.K())
+	}
+	return &Engine{cfg: cfg, qs: qs}, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Queries returns the engine's query set (shared or private).
+func (e *Engine) Queries() *QuerySet { return e.qs }
+
+// Family exposes the hash family so callers can sketch query material with
+// identical functions.
+func (e *Engine) Family() *minhash.Family { return e.qs.Family() }
+
+// Stats returns a snapshot of the operation counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// NumQueries returns the number of subscribed queries.
+func (e *Engine) NumQueries() int { return e.qs.Len() }
+
+// AddQuery subscribes a continuous query given the cell ids of its key
+// frames. With a shared QuerySet this affects every sharing engine.
+func (e *Engine) AddQuery(id int, cellIDs []uint64) error {
+	return e.qs.Add(id, cellIDs)
+}
+
+// RemoveQuery unsubscribes a query. Candidates tracking it drop it at
+// their next combination.
+func (e *Engine) RemoveQuery(id int) error {
+	return e.qs.Remove(id)
+}
+
+// PushFrame feeds the cell id of the next key frame. When a basic window
+// fills, it is processed.
+func (e *Engine) PushFrame(cellID uint64) {
+	e.curIDs = append(e.curIDs, cellID)
+	e.frame++
+	e.stats.Frames++
+	if len(e.curIDs) == e.cfg.WindowFrames {
+		e.processWindow()
+		e.curIDs = e.curIDs[:0]
+	}
+}
+
+// Flush processes a final partial window, if any. Call at end of stream.
+func (e *Engine) Flush() {
+	if len(e.curIDs) > 0 {
+		e.processWindow()
+		e.curIDs = e.curIDs[:0]
+	}
+}
+
+// curWindowStartFrame returns the first frame index of the window
+// currently being processed.
+func (e *Engine) curWindowStartFrame() int { return e.frame - len(e.curIDs) }
+
+// maxWindowsOf returns ⌈λL/w⌉ for a query, under this engine's window.
+func (e *Engine) maxWindowsOf(q *queryInfo) int { return e.cfg.maxWindows(q.frames) }
+
+// processWindow sketches the filled window, determines its related queries,
+// and updates the candidate list under the configured order and method.
+func (e *Engine) processWindow() {
+	e.stats.Windows++
+	wsk := e.qs.Family().SketchSet(e.curIDs)
+	win := &windowResult{
+		sketch:     wsk,
+		startFrame: e.curWindowStartFrame(),
+		endFrame:   e.frame,
+		related:    map[int]*bitsig.Signature{},
+	}
+	if e.qs.Len() > 0 {
+		if e.cfg.Method == Bit {
+			po := e.probeBit(wsk)
+			for _, r := range po.Related {
+				win.related[r.QID] = r.Sig
+			}
+		} else {
+			win.qids = e.relatedForSketch(wsk)
+		}
+	}
+
+	switch e.cfg.Order {
+	case Sequential:
+		e.processSequential(win)
+	default:
+		e.processGeometric(win)
+	}
+}
+
+// probeBit runs the configured prober for the Bit method and accounts its
+// cost. Without the index, the scan performs one full sketch comparison
+// per query to derive each signature.
+func (e *Engine) probeBit(wsk minhash.Sketch) qindex.ProbeOutput {
+	po, scanned := e.qs.probe(wsk, e.pruneDelta())
+	e.stats.SketchCompares += int64(scanned)
+	e.stats.ProbeComparisons += int64(po.Comparisons)
+	return po
+}
+
+// pruneDelta is the δ handed to probers for Lemma 2 pruning: the real
+// threshold, or 0 (never prune) when the ablation flag disables pruning.
+func (e *Engine) pruneDelta() float64 {
+	if e.cfg.DisablePrune {
+		return 0
+	}
+	return e.cfg.Delta
+}
+
+// relatedForSketch returns the query ids the Sketch method must compare
+// with this window: the probe's R_L with the index, or every query without.
+func (e *Engine) relatedForSketch(wsk minhash.Sketch) []int {
+	if e.qs.usingIndex() {
+		po, _ := e.qs.probe(wsk, e.pruneDelta())
+		e.stats.ProbeComparisons += int64(po.Comparisons)
+		ids := make([]int, 0, len(po.Related))
+		for _, r := range po.Related {
+			ids = append(ids, r.QID)
+		}
+		sort.Ints(ids)
+		return ids
+	}
+	ids := e.qs.IDs()
+	sort.Ints(ids)
+	return ids
+}
+
+// windowResult carries everything downstream stages need about one basic
+// window.
+type windowResult struct {
+	sketch     minhash.Sketch
+	startFrame int
+	endFrame   int
+	related    map[int]*bitsig.Signature // Bit: window-vs-query signatures
+	qids       []int                     // Sketch: related query ids, sorted
+}
+
+// report emits a match.
+func (e *Engine) report(qid, startFrame, endFrame, windows int, sim float64) {
+	m := Match{
+		QueryID:    qid,
+		StartFrame: startFrame,
+		EndFrame:   endFrame,
+		DetectedAt: endFrame,
+		Similarity: sim,
+		Windows:    windows,
+	}
+	e.stats.Matches++
+	e.Matches = append(e.Matches, m)
+	if e.OnMatch != nil {
+		e.OnMatch(m)
+	}
+}
+
+// relatedQIDs returns the probe's related query ids in deterministic order.
+func (w *windowResult) relatedQIDs() []int {
+	ids := make([]int, 0, len(w.related))
+	for qid := range w.related {
+		ids = append(ids, qid)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineFuzzInvariants drives randomly configured engines with random
+// query/stream material and checks structural invariants: no panics, match
+// fields well-formed, similarities at or above δ, stats consistent.
+func TestEngineFuzzInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080407))
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{
+			K:            []int{16, 64, 200, 801}[rng.Intn(4)],
+			Seed:         rng.Int63(),
+			Delta:        0.3 + 0.6*rng.Float64(),
+			Lambda:       1 + rng.Float64(),
+			WindowFrames: rng.Intn(20) + 1,
+			Order:        Order(rng.Intn(2)),
+			Method:       Method(rng.Intn(2)),
+			UseIndex:     rng.Intn(2) == 0,
+			DisablePrune: rng.Intn(4) == 0,
+		}
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v (%+v)", trial, err, cfg)
+		}
+		nq := rng.Intn(6) + 1
+		for q := 1; q <= nq; q++ {
+			ids := idStream(rng, rng.Intn(8), rng.Intn(80)+5)
+			if err := e.AddQuery(q, ids); err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, q, err)
+			}
+		}
+		// Random stream with occasional query-content bursts and mid-stream
+		// subscription churn.
+		frames := rng.Intn(800) + 100
+		removed := map[int]bool{}
+		for i := 0; i < frames; i++ {
+			e.PushFrame(uint64(rng.Intn(8))*100000 + uint64(rng.Intn(50)))
+			if rng.Intn(200) == 0 {
+				victim := rng.Intn(nq) + 1
+				if !removed[victim] {
+					if err := e.RemoveQuery(victim); err != nil {
+						t.Fatalf("trial %d remove: %v", trial, err)
+					}
+					removed[victim] = true
+				}
+			}
+		}
+		e.Flush()
+
+		st := e.Stats()
+		if st.Frames != frames {
+			t.Fatalf("trial %d: Frames=%d, pushed %d", trial, st.Frames, frames)
+		}
+		wantWindows := (frames + cfg.WindowFrames - 1) / cfg.WindowFrames
+		if st.Windows != wantWindows {
+			t.Fatalf("trial %d: Windows=%d, want %d", trial, st.Windows, wantWindows)
+		}
+		if st.Matches != len(e.Matches) {
+			t.Fatalf("trial %d: stats Matches=%d, slice %d", trial, st.Matches, len(e.Matches))
+		}
+		for _, m := range e.Matches {
+			if m.QueryID < 1 || m.QueryID > nq {
+				t.Fatalf("trial %d: match for unknown query %d", trial, m.QueryID)
+			}
+			if m.StartFrame < 0 || m.EndFrame <= m.StartFrame || m.EndFrame > frames {
+				t.Fatalf("trial %d: malformed match span [%d,%d) of %d frames",
+					trial, m.StartFrame, m.EndFrame, frames)
+			}
+			if m.Similarity < cfg.Delta-1e-9 {
+				t.Fatalf("trial %d: match similarity %g below δ=%g", trial, m.Similarity, cfg.Delta)
+			}
+			if m.Windows < 1 {
+				t.Fatalf("trial %d: match with %d windows", trial, m.Windows)
+			}
+		}
+	}
+}

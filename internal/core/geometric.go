@@ -1,0 +1,245 @@
+package core
+
+import (
+	"vdsms/internal/bitsig"
+	"vdsms/internal/minhash"
+)
+
+// geoBucket is one stored candidate of the Geometric order: a contiguous
+// chunk of basic windows whose sketch (and, for the Bit method, per-query
+// signatures) have been pre-combined. The stored buckets form a binary
+// counter — sizes grow geometrically from newest to oldest — so an arriving
+// window only touches ⌈log i⌉ of them (paper Figures 2 and 3).
+type geoBucket struct {
+	startFrame, endFrame int
+	windows              int
+	// Sketch method state: combined sketch plus the tracked query set.
+	sketch  minhash.Sketch
+	related map[int]bool
+	// Bit method state: one signature per tracked query (no sketch is
+	// maintained — all hot-path work is bit operations).
+	sigs map[int]*bitsig.Signature
+}
+
+// geoKey identifies a (query, candidate start) pair for match dedup across
+// the transient cascade evaluations.
+type geoKey struct {
+	qid   int
+	start int
+}
+
+// processGeometric implements Geometric order. The arriving window is
+// tested alone, then cascaded through the stored buckets newest→oldest,
+// testing each cumulative suffix; storage is updated binary-counter style.
+func (e *Engine) processGeometric(win *windowResult) {
+	if e.geoReported == nil {
+		e.geoReported = make(map[geoKey]bool)
+	}
+	nb := e.newGeoBucket(win)
+
+	// Test the window alone.
+	e.testGeo(nb)
+
+	// Transient cascade: suffix = window ∪ newest ∪ next ∪ ...
+	maxW := e.globalMaxWindows()
+	acc := nb
+	for i := len(e.geo) - 1; i >= 0; i-- {
+		if acc.windows+e.geo[i].windows > maxW {
+			break
+		}
+		acc = e.mergeGeo(e.geo[i], acc)
+		e.testGeo(acc)
+	}
+
+	// Storage update: push the size-1 bucket, merge equal-size neighbours.
+	// Merges whose result would exceed the λL bound are pointless (such a
+	// candidate can never match any query) and would starve the cascade,
+	// so they are suppressed.
+	e.geo = append(e.geo, e.cloneGeo(nb))
+	for n := len(e.geo); n >= 2 &&
+		e.geo[n-1].windows >= e.geo[n-2].windows &&
+		e.geo[n-1].windows+e.geo[n-2].windows <= maxW; n = len(e.geo) {
+		merged := e.mergeGeo(e.geo[n-2], e.geo[n-1])
+		e.geo = append(e.geo[:n-2], merged)
+	}
+	// Expire the oldest buckets beyond the λL bound.
+	total := 0
+	for _, b := range e.geo {
+		total += b.windows
+	}
+	for len(e.geo) > 0 && total > maxW {
+		total -= e.geo[0].windows
+		e.geo = e.geo[1:]
+	}
+
+	// Accounting.
+	var sigCount int64
+	for _, b := range e.geo {
+		if e.cfg.Method == Bit {
+			sigCount += int64(len(b.sigs))
+		} else {
+			sigCount += int64(len(b.related))
+		}
+	}
+	e.stats.SignatureSum += sigCount
+	e.stats.CandidateSum += int64(len(e.geo))
+
+	// Periodically sweep the dedup map of entries too old to recur.
+	if e.stats.Windows%64 == 0 {
+		horizon := win.endFrame - (maxW+1)*e.cfg.WindowFrames
+		for k := range e.geoReported {
+			if k.start < horizon {
+				delete(e.geoReported, k)
+			}
+		}
+	}
+}
+
+// newGeoBucket wraps the arriving window as a size-1 bucket.
+func (e *Engine) newGeoBucket(win *windowResult) *geoBucket {
+	b := &geoBucket{
+		startFrame: win.startFrame,
+		endFrame:   win.endFrame,
+		windows:    1,
+	}
+	if e.cfg.Method == Bit {
+		b.sigs = make(map[int]*bitsig.Signature, len(win.related))
+		for qid, sig := range win.related {
+			b.sigs[qid] = sig
+		}
+	} else {
+		b.sketch = win.sketch
+		b.related = make(map[int]bool, len(win.qids))
+		for _, qid := range win.qids {
+			b.related[qid] = true
+		}
+	}
+	return b
+}
+
+// cloneGeo deep-copies a bucket so stored state never aliases transient
+// cascade state.
+func (e *Engine) cloneGeo(b *geoBucket) *geoBucket {
+	c := &geoBucket{
+		startFrame: b.startFrame,
+		endFrame:   b.endFrame,
+		windows:    b.windows,
+		sketch:     b.sketch.Clone(),
+	}
+	if b.sigs != nil {
+		c.sigs = make(map[int]*bitsig.Signature, len(b.sigs))
+		for qid, s := range b.sigs {
+			c.sigs[qid] = s.Clone()
+		}
+	}
+	if b.related != nil {
+		c.related = make(map[int]bool, len(b.related))
+		for qid := range b.related {
+			c.related[qid] = true
+		}
+	}
+	return c
+}
+
+// mergeGeo combines an older bucket with a newer one into a fresh bucket.
+// Under the Bit method a query survives the merge only when both sides
+// track it (the paper's candidates keep signatures of queries related to
+// their consecutive candidate sequences; true-copy windows always stay
+// related, so this costs no detectable copies), and no sketch operations
+// are performed at all — the asymmetry behind the Fig. 6 CPU split.
+func (e *Engine) mergeGeo(old, new_ *geoBucket) *geoBucket {
+	out := &geoBucket{
+		startFrame: old.startFrame,
+		endFrame:   new_.endFrame,
+		windows:    old.windows + new_.windows,
+	}
+	if e.cfg.Method == Bit {
+		out.sigs = make(map[int]*bitsig.Signature)
+		for qid, a := range old.sigs {
+			b := new_.sigs[qid]
+			if b == nil {
+				continue
+			}
+			q := e.qs.lookup(qid)
+			if q == nil || out.windows > e.maxWindowsOf(q) {
+				continue
+			}
+			s := a.Clone()
+			s.Or(b)
+			e.stats.SigOrs++
+			if !e.cfg.DisablePrune && s.Prunable(e.cfg.Delta) {
+				continue
+			}
+			out.sigs[qid] = s
+		}
+		return out
+	}
+	out.sketch = minhash.Combined(old.sketch, new_.sketch)
+	e.stats.SketchCombines++
+	out.related = make(map[int]bool)
+	for qid := range old.related {
+		out.related[qid] = true
+	}
+	for qid := range new_.related {
+		out.related[qid] = true
+	}
+	for qid := range out.related {
+		q := e.qs.lookup(qid)
+		if q == nil || out.windows > e.maxWindowsOf(q) {
+			delete(out.related, qid)
+		}
+	}
+	return out
+}
+
+// testGeo evaluates one (possibly transient) candidate against its related
+// queries, reporting threshold crossings once per (query, start).
+func (e *Engine) testGeo(b *geoBucket) {
+	if e.cfg.Method == Bit {
+		for _, qid := range sortedSigKeys(b.sigs) {
+			sig := b.sigs[qid]
+			q := e.qs.lookup(qid)
+			if q == nil || b.windows > e.maxWindowsOf(q) {
+				continue
+			}
+			e.stats.SigTests++
+			sim := sig.Similarity()
+			if sim < e.cfg.Delta {
+				continue
+			}
+			k := geoKey{qid: qid, start: b.startFrame}
+			if !e.geoReported[k] {
+				e.geoReported[k] = true
+				e.report(qid, b.startFrame, b.endFrame, b.windows, sim)
+			}
+		}
+		return
+	}
+	for _, qid := range sortedSetKeys(b.related) {
+		q := e.qs.lookup(qid)
+		if q == nil || b.windows > e.maxWindowsOf(q) {
+			continue
+		}
+		eq, _ := minhash.CompareCounts(b.sketch, q.sketch)
+		e.stats.SketchCompares++
+		sim := float64(eq) / float64(e.cfg.K)
+		if sim < e.cfg.Delta {
+			continue
+		}
+		k := geoKey{qid: qid, start: b.startFrame}
+		if !e.geoReported[k] {
+			e.geoReported[k] = true
+			e.report(qid, b.startFrame, b.endFrame, b.windows, sim)
+		}
+	}
+}
+
+// globalMaxWindows returns the largest ⌈λL/w⌉ over live queries (1 when no
+// queries are subscribed, so the structures stay bounded).
+func (e *Engine) globalMaxWindows() int {
+	frames := e.qs.maxFrames()
+	if frames == 0 {
+		return 1
+	}
+	return e.cfg.maxWindows(frames)
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"sort"
+
+	"vdsms/internal/bitsig"
+)
+
+// Candidate maps are iterated in sorted query-id order wherever iteration
+// can emit matches, so identical inputs always produce identical match
+// sequences — a requirement for reproducible experiments.
+
+// sortedSigKeys returns the keys of a signature map in ascending order.
+func sortedSigKeys(m map[int]*bitsig.Signature) []int {
+	keys := make([]int, 0, len(m))
+	for qid := range m {
+		keys = append(keys, qid)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedSetKeys returns the keys of a query-id set in ascending order.
+func sortedSetKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for qid := range m {
+		keys = append(keys, qid)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"vdsms/internal/minhash"
+	"vdsms/internal/qindex"
+)
+
+// QuerySet holds the subscribed continuous queries — sketches, lengths and
+// the Hash-Query index — independently of any stream. Multiple Engines
+// (one per monitored stream, the paper's "many concurrent video streams"
+// setting) can share one QuerySet: probing is read-only, so monitoring
+// goroutines proceed in parallel, while Add/Remove take the write lock and
+// apply to every sharing engine at its next window.
+//
+// All sharers see the same hash family, so sketches are comparable by
+// construction.
+type QuerySet struct {
+	mu       sync.RWMutex
+	fam      *minhash.Family
+	k        int
+	seed     int64
+	useIndex bool
+	queries  map[int]*queryInfo
+	index    *qindex.Index // nil until first query when useIndex
+	scan     qindex.Scan
+}
+
+// NewQuerySet builds an empty query set with K hash functions drawn from
+// seed. useIndex selects Hash-Query-index probing over linear scans.
+func NewQuerySet(k int, seed int64, useIndex bool) (*QuerySet, error) {
+	fam, err := minhash.NewFamily(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &QuerySet{
+		fam:      fam,
+		k:        k,
+		seed:     seed,
+		useIndex: useIndex,
+		queries:  make(map[int]*queryInfo),
+	}, nil
+}
+
+// K returns the number of hash functions.
+func (qs *QuerySet) K() int { return qs.k }
+
+// Family exposes the shared hash family.
+func (qs *QuerySet) Family() *minhash.Family { return qs.fam }
+
+// Len returns the number of subscribed queries.
+func (qs *QuerySet) Len() int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return len(qs.queries)
+}
+
+// IDs returns the subscribed query ids (unordered).
+func (qs *QuerySet) IDs() []int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	out := make([]int, 0, len(qs.queries))
+	for id := range qs.queries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Add subscribes a query given the cell ids of its key frames.
+func (qs *QuerySet) Add(id int, cellIDs []uint64) error {
+	if len(cellIDs) == 0 {
+		return fmt.Errorf("core: query %d has no frames", id)
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if _, dup := qs.queries[id]; dup {
+		return fmt.Errorf("core: query id %d already subscribed", id)
+	}
+	q := &queryInfo{
+		id:     id,
+		frames: len(cellIDs),
+		sketch: qs.fam.SketchSet(cellIDs),
+	}
+	return qs.insert(q)
+}
+
+// insert wires an already-sketched query in; callers hold the write lock.
+func (qs *QuerySet) insert(q *queryInfo) error {
+	iq := qindex.Query{ID: q.id, Length: q.frames, Sketch: q.sketch}
+	if qs.useIndex {
+		if qs.index == nil {
+			idx, err := qindex.Build([]qindex.Query{iq})
+			if err != nil {
+				return err
+			}
+			qs.index = idx
+		} else if err := qs.index.Add(iq); err != nil {
+			return err
+		}
+	}
+	qs.queries[q.id] = q
+	qs.scan.Queries = append(qs.scan.Queries, iq)
+	return nil
+}
+
+// Remove unsubscribes a query.
+func (qs *QuerySet) Remove(id int) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if _, ok := qs.queries[id]; !ok {
+		return fmt.Errorf("core: query id %d not subscribed", id)
+	}
+	delete(qs.queries, id)
+	for i, q := range qs.scan.Queries {
+		if q.ID == id {
+			qs.scan.Queries = append(qs.scan.Queries[:i], qs.scan.Queries[i+1:]...)
+			break
+		}
+	}
+	if qs.useIndex && qs.index != nil {
+		return qs.index.Remove(id)
+	}
+	return nil
+}
+
+// usingIndex reports whether probing goes through the Hash-Query index.
+func (qs *QuerySet) usingIndex() bool {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return qs.useIndex && qs.index != nil
+}
+
+// probe runs the configured prober under the read lock.
+func (qs *QuerySet) probe(sk minhash.Sketch, delta float64) (qindex.ProbeOutput, int) {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	if qs.useIndex && qs.index != nil {
+		return qs.index.Probe(sk, delta), 0
+	}
+	return qs.scan.Probe(sk, delta), len(qs.scan.Queries)
+}
+
+// lookup returns the query with the given id, or nil.
+func (qs *QuerySet) lookup(id int) *queryInfo {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return qs.queries[id]
+}
+
+// snapshotIDs returns the sorted subscribed ids and, when withSketch, each
+// query's sketch (for the Sketch method's brute-force comparisons).
+func (qs *QuerySet) maxFrames() int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	max := 0
+	for _, q := range qs.queries {
+		if q.frames > max {
+			max = q.frames
+		}
+	}
+	return max
+}
+
+// Serialisation format "VQS1": K, seed, useIndex, count, then per query
+// id, length and K raw sketch values — everything needed to reconstruct
+// the set (the index is rebuilt on load, which the paper treats as an
+// offline step anyway).
+var qsMagic = [4]byte{'V', 'Q', 'S', '1'}
+
+// ErrBadQuerySet is returned by LoadQuerySet on malformed input.
+var ErrBadQuerySet = errors.New("core: not a VQS1 query-set stream")
+
+// Save writes the query set to w.
+func (qs *QuerySet) Save(w io.Writer) error {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	var hdr [25]byte
+	copy(hdr[:4], qsMagic[:])
+	binary.BigEndian.PutUint32(hdr[4:], uint32(qs.k))
+	binary.BigEndian.PutUint64(hdr[8:], uint64(qs.seed))
+	if qs.useIndex {
+		hdr[16] = 1
+	}
+	binary.BigEndian.PutUint64(hdr[17:], uint64(len(qs.queries)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Deterministic order via the scan list (insertion order).
+	for _, iq := range qs.scan.Queries {
+		var qh [16]byte
+		binary.BigEndian.PutUint64(qh[:8], uint64(iq.ID))
+		binary.BigEndian.PutUint64(qh[8:], uint64(iq.Length))
+		if _, err := w.Write(qh[:]); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(iq.Sketch))
+		for i, v := range iq.Sketch {
+			binary.BigEndian.PutUint64(buf[i*8:], v)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadQuerySet reconstructs a query set saved with Save, rebuilding the
+// Hash-Query index.
+func LoadQuerySet(r io.Reader) (*QuerySet, error) {
+	var hdr [25]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading query-set header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != qsMagic {
+		return nil, ErrBadQuerySet
+	}
+	k := int(binary.BigEndian.Uint32(hdr[4:]))
+	seed := int64(binary.BigEndian.Uint64(hdr[8:]))
+	useIndex := hdr[16] == 1
+	count := binary.BigEndian.Uint64(hdr[17:])
+	if count > 1<<20 {
+		return nil, fmt.Errorf("core: implausible query count %d", count)
+	}
+	qs, err := NewQuerySet(k, seed, useIndex)
+	if err != nil {
+		return nil, err
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	for n := uint64(0); n < count; n++ {
+		var qh [16]byte
+		if _, err := io.ReadFull(r, qh[:]); err != nil {
+			return nil, fmt.Errorf("core: reading query %d: %w", n, err)
+		}
+		id := int(binary.BigEndian.Uint64(qh[:8]))
+		length := int(binary.BigEndian.Uint64(qh[8:]))
+		if length <= 0 {
+			return nil, fmt.Errorf("core: query %d has non-positive length", id)
+		}
+		buf := make([]byte, 8*k)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("core: reading query %d sketch: %w", id, err)
+		}
+		sk := make(minhash.Sketch, k)
+		for i := range sk {
+			sk[i] = binary.BigEndian.Uint64(buf[i*8:])
+		}
+		if err := qs.insert(&queryInfo{id: id, frames: length, sketch: sk}); err != nil {
+			return nil, err
+		}
+	}
+	return qs, nil
+}

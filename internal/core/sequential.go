@@ -1,0 +1,176 @@
+package core
+
+import (
+	"vdsms/internal/bitsig"
+	"vdsms/internal/minhash"
+)
+
+// seqCandidate is one entry of the Sequential-order candidate list: the
+// suffix of the stream starting at startFrame. Depending on the method it
+// carries per-query bit signatures or a combined sketch plus related set.
+type seqCandidate struct {
+	startFrame int
+	windows    int
+	// Bit method state.
+	sigs map[int]*bitsig.Signature
+	// Sketch method state.
+	sketch  minhash.Sketch
+	related map[int]bool
+	// reported dedups match reports per query for this candidate.
+	reported map[int]bool
+}
+
+// processSequential implements Sequential order: every suffix candidate is
+// extended by the new window; a fresh size-1 candidate is appended.
+func (e *Engine) processSequential(win *windowResult) {
+	if e.cfg.Method == Bit {
+		e.seqBit(win)
+	} else {
+		e.seqSketch(win)
+	}
+	// Memory/candidate accounting after the window is fully folded in.
+	var sigCount int64
+	for _, c := range e.seq {
+		if e.cfg.Method == Bit {
+			sigCount += int64(len(c.sigs))
+		} else {
+			sigCount += int64(len(c.related))
+		}
+	}
+	e.stats.SignatureSum += sigCount
+	e.stats.CandidateSum += int64(len(e.seq))
+}
+
+// seqBit handles a window under the Bit method.
+func (e *Engine) seqBit(win *windowResult) {
+	// (1) Test the basic window itself against its related queries.
+	newReported := make(map[int]bool)
+	for _, qid := range win.relatedQIDs() {
+		sig := win.related[qid]
+		e.stats.SigTests++
+		if sim := sig.Similarity(); sim >= e.cfg.Delta {
+			e.report(qid, win.startFrame, win.endFrame, 1, sim)
+			newReported[qid] = true
+		}
+	}
+
+	// (2) Extend every existing candidate. A query stays tracked only while
+	// consecutive windows keep it related (Section V.B: candidates maintain
+	// the signatures of queries related to their consecutive candidate
+	// sequences); a window with no equal min-hash against q — or where q
+	// was Lemma 2-pruned — drops q from the candidate. Windows inside a
+	// true copy of q always share min-hashes with q, so this never loses a
+	// detectable copy.
+	kept := e.seq[:0]
+	for _, c := range e.seq {
+		c.windows++
+		for _, qid := range sortedSigKeys(c.sigs) {
+			sig := c.sigs[qid]
+			q := e.qs.lookup(qid)
+			if q == nil || c.windows > e.maxWindowsOf(q) {
+				delete(c.sigs, qid)
+				continue
+			}
+			wsig := win.related[qid]
+			if wsig == nil { // unrelated or pruned: cascade the drop
+				delete(c.sigs, qid)
+				continue
+			}
+			sig.Or(wsig)
+			e.stats.SigOrs++
+			if !e.cfg.DisablePrune && sig.Prunable(e.cfg.Delta) {
+				delete(c.sigs, qid)
+				continue
+			}
+			e.stats.SigTests++
+			if sim := sig.Similarity(); sim >= e.cfg.Delta && !c.reported[qid] {
+				e.report(qid, c.startFrame, win.endFrame, c.windows, sim)
+				c.reported[qid] = true
+			}
+		}
+		if len(c.sigs) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	e.seq = kept
+
+	// (3) Append the fresh size-1 candidate (its own test happened in (1)).
+	if len(win.related) > 0 {
+		c := &seqCandidate{
+			startFrame: win.startFrame,
+			windows:    1,
+			sigs:       make(map[int]*bitsig.Signature, len(win.related)),
+			reported:   newReported,
+		}
+		for qid, sig := range win.related {
+			c.sigs[qid] = sig.Clone()
+		}
+		e.seq = append(e.seq, c)
+	}
+}
+
+// seqSketch handles a window under the Sketch method.
+func (e *Engine) seqSketch(win *windowResult) {
+	// (1) Test the basic window against its related queries.
+	newReported := make(map[int]bool)
+	for _, qid := range win.qids {
+		q := e.qs.lookup(qid)
+		if q == nil {
+			continue
+		}
+		eq, _ := minhash.CompareCounts(win.sketch, q.sketch)
+		e.stats.SketchCompares++
+		if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta {
+			e.report(qid, win.startFrame, win.endFrame, 1, sim)
+			newReported[qid] = true
+		}
+	}
+
+	// (2) Extend candidates: combine sketches, re-compare related queries.
+	kept := e.seq[:0]
+	for _, c := range e.seq {
+		c.windows++
+		minhash.Combine(c.sketch, win.sketch)
+		e.stats.SketchCombines++
+		for _, qid := range sortedSetKeys(c.related) {
+			q := e.qs.lookup(qid)
+			if q == nil || c.windows > e.maxWindowsOf(q) {
+				delete(c.related, qid)
+				continue
+			}
+			eq, less := minhash.CompareCounts(c.sketch, q.sketch)
+			e.stats.SketchCompares++
+			if !e.cfg.DisablePrune && float64(less) > float64(e.cfg.K)*(1-e.cfg.Delta) {
+				delete(c.related, qid)
+				continue
+			}
+			if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta && !c.reported[qid] {
+				e.report(qid, c.startFrame, win.endFrame, c.windows, sim)
+				c.reported[qid] = true
+			}
+		}
+		if len(c.related) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	e.seq = kept
+
+	// (3) Fresh size-1 candidate tracking the window's related queries.
+	if len(win.qids) > 0 {
+		c := &seqCandidate{
+			startFrame: win.startFrame,
+			windows:    1,
+			sketch:     win.sketch.Clone(),
+			related:    make(map[int]bool, len(win.qids)),
+			reported:   newReported,
+		}
+		for _, qid := range win.qids {
+			if e.qs.lookup(qid) != nil {
+				c.related[qid] = true
+			}
+		}
+		if len(c.related) > 0 {
+			e.seq = append(e.seq, c)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package dct implements the 8×8 type-II Discrete Cosine Transform and its
+// inverse, together with the zig-zag scan and quantisation matrices used by
+// the compressed-video codec. The DC coefficient (index 0 of a transformed
+// block) is 8× the block mean, which is the quantity the copy-detection
+// feature extractor consumes.
+package dct
+
+import "math"
+
+// BlockSize is the side length of a transform block.
+const BlockSize = 8
+
+// Block holds an 8×8 tile of samples (spatial domain) or coefficients
+// (frequency domain) in row-major order.
+type Block [BlockSize * BlockSize]float64
+
+// IntBlock holds quantised coefficients in row-major order.
+type IntBlock [BlockSize * BlockSize]int32
+
+// cosTable[u][x] = cos((2x+1)uπ/16) scaled by the orthonormal factor c(u).
+var cosTable [BlockSize][BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		c := math.Sqrt(2.0 / BlockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / BlockSize)
+		}
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*BlockSize))
+		}
+	}
+}
+
+// Forward computes the 2-D orthonormal DCT-II of src into dst.
+// dst[0] (the DC term) equals 8 × mean(src).
+func Forward(src, dst *Block) {
+	// Separable transform: rows then columns.
+	var tmp Block
+	for y := 0; y < BlockSize; y++ {
+		row := y * BlockSize
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += src[row+x] * cosTable[u][x]
+			}
+			tmp[row+u] = s
+		}
+	}
+	for u := 0; u < BlockSize; u++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y*BlockSize+u] * cosTable[v][y]
+			}
+			dst[v*BlockSize+u] = s
+		}
+	}
+}
+
+// Inverse computes the 2-D inverse DCT of src into dst.
+func Inverse(src, dst *Block) {
+	var tmp Block
+	for v := 0; v < BlockSize; v++ {
+		row := v * BlockSize
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += src[row+u] * cosTable[u][x]
+			}
+			tmp[row+x] = s
+		}
+	}
+	for x := 0; x < BlockSize; x++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += tmp[v*BlockSize+x] * cosTable[v][y]
+			}
+			dst[y*BlockSize+x] = s
+		}
+	}
+}
+
+// ZigZag maps zig-zag scan position → row-major block index, following the
+// JPEG/MPEG scan order so low-frequency coefficients come first.
+var ZigZag = [BlockSize * BlockSize]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// InvZigZag maps row-major block index → zig-zag scan position.
+var InvZigZag [BlockSize * BlockSize]int
+
+func init() {
+	for i, v := range ZigZag {
+		InvZigZag[v] = i
+	}
+}
+
+// LumaQuant is the base luminance quantisation matrix (JPEG Annex K),
+// scaled at runtime by the codec's quality parameter.
+var LumaQuant = IntBlock{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// ChromaQuant is the base chrominance quantisation matrix (JPEG Annex K).
+var ChromaQuant = IntBlock{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// ScaleQuant derives a quantisation matrix for quality q in [1,100] from a
+// base matrix, using the libjpeg scaling convention. Higher quality means
+// smaller divisors (finer quantisation). Every entry is clamped to [1, 255].
+func ScaleQuant(base *IntBlock, quality int) IntBlock {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var out IntBlock
+	for i, v := range base {
+		q := (v*scale + 50) / 100
+		if q < 1 {
+			q = 1
+		}
+		if q > 255 {
+			q = 255
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Quantise divides DCT coefficients by the quantisation matrix with
+// round-to-nearest, producing integer levels.
+func Quantise(coeffs *Block, quant *IntBlock, out *IntBlock) {
+	for i := range coeffs {
+		q := float64(quant[i])
+		out[i] = int32(math.Round(coeffs[i] / q))
+	}
+}
+
+// Dequantise multiplies quantised levels back into coefficient space.
+func Dequantise(levels *IntBlock, quant *IntBlock, out *Block) {
+	for i := range levels {
+		out[i] = float64(levels[i]) * float64(quant[i])
+	}
+}
+
+// DC returns the DC coefficient of a transformed block, i.e. 8× block mean.
+func DC(b *Block) float64 { return b[0] }
+
+// BlockMean returns the arithmetic mean of a spatial-domain block.
+func BlockMean(b *Block) float64 {
+	var s float64
+	for _, v := range b {
+		s += v
+	}
+	return s / float64(len(b))
+}

@@ -1,0 +1,197 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBlock(rng *rand.Rand) *Block {
+	var b Block
+	for i := range b {
+		b[i] = rng.Float64()*255 - 128
+	}
+	return &b
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		src := randomBlock(rng)
+		var freq, back Block
+		Forward(src, &freq)
+		Inverse(&freq, &back)
+		for i := range src {
+			if math.Abs(src[i]-back[i]) > 1e-9 {
+				t.Fatalf("trial %d index %d: %g != %g", trial, i, src[i], back[i])
+			}
+		}
+	}
+}
+
+func TestDCIsScaledMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		src := randomBlock(rng)
+		var freq Block
+		Forward(src, &freq)
+		want := 8 * BlockMean(src)
+		if math.Abs(DC(&freq)-want) > 1e-9 {
+			t.Fatalf("DC = %g, want 8*mean = %g", DC(&freq), want)
+		}
+	}
+}
+
+func TestConstantBlockEnergy(t *testing.T) {
+	var src Block
+	for i := range src {
+		src[i] = 100
+	}
+	var freq Block
+	Forward(&src, &freq)
+	if math.Abs(freq[0]-800) > 1e-9 {
+		t.Errorf("DC of constant 100 block = %g, want 800", freq[0])
+	}
+	for i := 1; i < len(freq); i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Errorf("AC coefficient %d = %g, want 0", i, freq[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// The orthonormal DCT preserves energy: Σx² == ΣX².
+	rng := rand.New(rand.NewSource(3))
+	src := randomBlock(rng)
+	var freq Block
+	Forward(src, &freq)
+	var es, ef float64
+	for i := range src {
+		es += src[i] * src[i]
+		ef += freq[i] * freq[i]
+	}
+	if math.Abs(es-ef) > 1e-6*es {
+		t.Errorf("energy not preserved: spatial %g vs freq %g", es, ef)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randomBlock(rng), randomBlock(rng)
+	var sum Block
+	for i := range sum {
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	var fa, fb, fsum Block
+	Forward(a, &fa)
+	Forward(b, &fb)
+	Forward(&sum, &fsum)
+	for i := range fsum {
+		want := 2*fa[i] + 3*fb[i]
+		if math.Abs(fsum[i]-want) > 1e-8 {
+			t.Fatalf("linearity violated at %d: %g vs %g", i, fsum[i], want)
+		}
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range ZigZag {
+		if v < 0 || v >= 64 {
+			t.Fatalf("zig-zag value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("zig-zag value %d repeated", v)
+		}
+		seen[v] = true
+	}
+	for i, v := range ZigZag {
+		if InvZigZag[v] != i {
+			t.Fatalf("InvZigZag[%d] = %d, want %d", v, InvZigZag[v], i)
+		}
+	}
+	// Spot-check the canonical JPEG order.
+	if ZigZag[0] != 0 || ZigZag[1] != 1 || ZigZag[2] != 8 || ZigZag[63] != 63 {
+		t.Error("zig-zag order does not match the JPEG scan")
+	}
+}
+
+func TestScaleQuantBounds(t *testing.T) {
+	for _, q := range []int{-5, 1, 10, 50, 75, 100, 200} {
+		m := ScaleQuant(&LumaQuant, q)
+		for i, v := range m {
+			if v < 1 || v > 255 {
+				t.Fatalf("quality %d entry %d = %d out of [1,255]", q, i, v)
+			}
+		}
+	}
+}
+
+func TestScaleQuantMonotone(t *testing.T) {
+	lo := ScaleQuant(&LumaQuant, 20)
+	hi := ScaleQuant(&LumaQuant, 90)
+	for i := range lo {
+		if hi[i] > lo[i] {
+			t.Fatalf("entry %d: quality 90 divisor %d > quality 20 divisor %d", i, hi[i], lo[i])
+		}
+	}
+}
+
+func TestQuantiseDequantiseError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	quant := ScaleQuant(&LumaQuant, 90)
+	src := randomBlock(rng)
+	var freq, rec Block
+	var lv IntBlock
+	Forward(src, &freq)
+	Quantise(&freq, &quant, &lv)
+	Dequantise(&lv, &quant, &rec)
+	for i := range freq {
+		maxErr := float64(quant[i]) / 2
+		if math.Abs(freq[i]-rec[i]) > maxErr+1e-9 {
+			t.Fatalf("coefficient %d: error %g exceeds half-step %g",
+				i, math.Abs(freq[i]-rec[i]), maxErr)
+		}
+	}
+}
+
+// Property: quantisation error of the DC term never exceeds half the DC
+// quantiser step, so block means survive compression to within a bound.
+func TestPropertyDCQuantisationBound(t *testing.T) {
+	f := func(seed int64, quality uint8) bool {
+		q := int(quality)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		quant := ScaleQuant(&LumaQuant, q)
+		src := randomBlock(rng)
+		var freq, rec Block
+		var lv IntBlock
+		Forward(src, &freq)
+		Quantise(&freq, &quant, &lv)
+		Dequantise(&lv, &quant, &rec)
+		return math.Abs(freq[0]-rec[0]) <= float64(quant[0])/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	src := randomBlock(rng)
+	var dst Block
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward(src, &dst)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	src := randomBlock(rng)
+	var dst Block
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Inverse(src, &dst)
+	}
+}

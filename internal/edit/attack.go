@@ -1,0 +1,82 @@
+package edit
+
+import "vdsms/internal/vframe"
+
+// Attack bundles the VS2 editing pipeline of the paper: photometric
+// alterations, noise, a resolution change, a frame-rate change and segment
+// reordering. Zero-valued fields disable the corresponding edit.
+type Attack struct {
+	BrightnessDelta float64 // added to luma
+	ContrastFactor  float64 // 0 disables; otherwise scale around mid-grey
+	CbShift         float64
+	CrShift         float64
+	NoiseAmp        float64 // uniform noise amplitude
+	NoiseSeed       int64
+	TargetW         int // 0 keeps resolution
+	TargetH         int
+	TargetFPS       float64 // 0 keeps frame rate
+	SegmentFrames   int     // 0 disables reordering
+	ReorderSeed     int64
+}
+
+// Apply wires the attack pipeline around src in the paper's order:
+// photometric edits and noise, then resolution change, then frame-rate
+// re-encoding, then segment reordering.
+func (a Attack) Apply(src vframe.Source) vframe.Source {
+	out := src
+	if a.BrightnessDelta != 0 {
+		out = Brightness(out, a.BrightnessDelta)
+	}
+	if a.ContrastFactor != 0 && a.ContrastFactor != 1 {
+		out = Contrast(out, a.ContrastFactor)
+	}
+	if a.CbShift != 0 || a.CrShift != 0 {
+		out = ColorShift(out, a.CbShift, a.CrShift)
+	}
+	if a.NoiseAmp > 0 {
+		out = Noise(out, a.NoiseAmp, a.NoiseSeed)
+	}
+	if a.TargetW > 0 && a.TargetH > 0 {
+		out = Rescale(out, a.TargetW, a.TargetH)
+	}
+	if a.TargetFPS > 0 && a.TargetFPS != src.FPS() {
+		out = Resample(out, a.TargetFPS)
+	}
+	if a.SegmentFrames > 0 {
+		out = Reorder(out, a.SegmentFrames, a.ReorderSeed)
+	}
+	return out
+}
+
+// PaperAttack derives the paper's VS2 attack for one short video: 20–50%
+// brightness/colour alteration (the exact strength drawn from seed), noise,
+// NTSC→PAL-style resolution and frame-rate change, and reordering of
+// segments of segSec seconds. w/h are the target (PAL-like) dimensions and
+// fps the target frame rate.
+func PaperAttack(seed int64, w, h int, fps float64, segFrames int) Attack {
+	r := func(k uint64) float64 { // deterministic uniform in [0,1)
+		return float64(splitmix64(uint64(seed)^k*0x9E3779B97F4A7C15)>>11) / float64(1<<53)
+	}
+	sign := 1.0
+	if r(1) < 0.5 {
+		sign = -1
+	}
+	// "alter 20-50% of the color as well as the brightness": scale the
+	// alteration strength between 0.2 and 0.5. Brightness moves up to
+	// ±20 luma and contrast up to ±15% — strong edits that remain in the
+	// unsaturated regime where the paper's ordinal features stay stable.
+	strength := 0.2 + 0.3*r(2)
+	return Attack{
+		BrightnessDelta: sign * strength * 40,
+		ContrastFactor:  1 + sign*strength*0.3,
+		CbShift:         (r(3) - 0.5) * strength * 80,
+		CrShift:         (r(4) - 0.5) * strength * 80,
+		NoiseAmp:        4 + 8*r(5),
+		NoiseSeed:       seed * 31,
+		TargetW:         w,
+		TargetH:         h,
+		TargetFPS:       fps,
+		SegmentFrames:   segFrames,
+		ReorderSeed:     seed * 17,
+	}
+}

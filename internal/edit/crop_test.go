@@ -1,0 +1,159 @@
+package edit
+
+import (
+	"testing"
+
+	"vdsms/internal/vframe"
+)
+
+func TestLetterboxBars(t *testing.T) {
+	src := synth(2, 20)
+	out := Letterbox(src, 0.25) // 12.5% bars top and bottom on 48-high frames
+	f := out.Frame(0)
+	bar := int(float64(f.H) * 0.25 / 2)
+	if bar == 0 {
+		t.Fatal("test geometry produced zero bar height")
+	}
+	for x := 0; x < f.W; x++ {
+		if f.Y[x] != 16 || f.Y[(f.H-1)*f.W+x] != 16 {
+			t.Fatalf("bars not black at column %d", x)
+		}
+	}
+	// Centre rows untouched.
+	orig := src.Frame(0).Clone()
+	mid := f.H / 2
+	for x := 0; x < f.W; x++ {
+		if f.Y[mid*f.W+x] != orig.Y[mid*f.W+x] {
+			t.Fatalf("centre row modified at %d", x)
+		}
+	}
+}
+
+func TestLetterboxValidation(t *testing.T) {
+	src := synth(1, 21)
+	for _, bad := range []float64{-0.1, 0.95} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("letterbox %g accepted", bad)
+				}
+			}()
+			Letterbox(src, bad).Frame(0)
+		}()
+	}
+	// Zero bars = identity.
+	f := Letterbox(src, 0).Frame(0).Clone()
+	orig := src.Frame(0)
+	for i := range orig.Y {
+		if f.Y[i] != orig.Y[i] {
+			t.Fatal("letterbox 0 modified frame")
+		}
+	}
+}
+
+func TestCenterCropGeometryPreserved(t *testing.T) {
+	src := synth(2, 22)
+	out := CenterCrop(src, 0.7)
+	f := out.Frame(0)
+	orig := src.Frame(0)
+	if f.W != orig.W || f.H != orig.H {
+		t.Fatalf("crop changed geometry to %dx%d", f.W, f.H)
+	}
+}
+
+func TestCenterCropZooms(t *testing.T) {
+	// Cropping then rescaling magnifies the centre: the cropped frame
+	// should resemble the original centre region more than the full frame.
+	src := vframe.NewSynth(vframe.SynthConfig{W: 96, H: 80, NumFrames: 2, Seed: 9})
+	out := CenterCrop(src, 0.75)
+	f := out.Frame(0).Clone()
+	orig := src.Frame(0)
+	// The exact transform is lossy; just require substantial change plus
+	// stability of the very centre pixel's neighbourhood ordering.
+	diff := 0
+	for i := range f.Y {
+		if f.Y[i] != orig.Y[i] {
+			diff++
+		}
+	}
+	if diff < len(f.Y)/10 {
+		t.Errorf("crop changed only %d of %d pixels", diff, len(f.Y))
+	}
+}
+
+func TestCenterCropFullIsIdentity(t *testing.T) {
+	src := synth(1, 23)
+	out := CenterCrop(src, 1)
+	f := out.Frame(0).Clone()
+	orig := src.Frame(0)
+	for i := range orig.Y {
+		if f.Y[i] != orig.Y[i] {
+			t.Fatal("full crop modified frame")
+		}
+	}
+}
+
+func TestCenterCropValidation(t *testing.T) {
+	src := synth(1, 24)
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("crop %g accepted", bad)
+				}
+			}()
+			CenterCrop(src, bad).Frame(0)
+		}()
+	}
+}
+
+func TestLogoCorners(t *testing.T) {
+	src := synth(1, 30)
+	for corner := 0; corner < 4; corner++ {
+		f := Logo(src, 0.3, corner).Frame(0)
+		// Locate the expected bright square.
+		s := int(float64(f.H) * 0.3) // H=48 < W=64 → minDim is H
+		x0, y0 := 4, 4
+		if corner == 1 || corner == 3 {
+			x0 = f.W - 4 - s
+		}
+		if corner == 2 || corner == 3 {
+			y0 = f.H - 4 - s
+		}
+		if f.Y[(y0+s/2)*f.W+x0+s/2] != 235 {
+			t.Errorf("corner %d: logo centre not bright", corner)
+		}
+		// Opposite corner untouched.
+		ox, oy := f.W-1-x0, f.H-1-y0
+		orig := src.Frame(0).Clone()
+		if f.Y[oy*f.W+ox] != orig.Y[oy*f.W+ox] {
+			t.Errorf("corner %d: opposite corner modified", corner)
+		}
+	}
+}
+
+func TestLogoValidation(t *testing.T) {
+	src := synth(1, 31)
+	for _, fn := range []func(){
+		func() { Logo(src, -0.1, 0).Frame(0) },
+		func() { Logo(src, 0.6, 0).Frame(0) },
+		func() { Logo(src, 0.1, 4).Frame(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid logo accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+	// Zero size is identity.
+	f := Logo(src, 0, 0).Frame(0).Clone()
+	orig := src.Frame(0)
+	for i := range orig.Y {
+		if f.Y[i] != orig.Y[i] {
+			t.Fatal("zero logo modified frame")
+		}
+	}
+}

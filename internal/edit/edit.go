@@ -1,0 +1,322 @@
+// Package edit implements the video editing operations used to manufacture
+// copies: photometric attacks (brightness, contrast, colour shift, noise),
+// geometric attacks (resolution change), and temporal attacks (frame-rate
+// resampling and segment reordering). These reproduce the paper's VS2
+// construction: "we alter 20-50% of the color as well as the brightness,
+// add noises and change the resolutions ... re-compress them using
+// different frame rate ... partition the edited short videos into segments
+// [and] reorder these segments".
+//
+// All edits are lazy vframe.Source wrappers; nothing is materialised.
+// Edits are deterministic given their seeds, so streams remain reproducible.
+package edit
+
+import (
+	"fmt"
+	"math"
+
+	"vdsms/internal/vframe"
+)
+
+// Brightness adds delta to every luma sample (clamped).
+func Brightness(src vframe.Source, delta float64) vframe.Source {
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		for i, v := range f.Y {
+			f.Y[i] = clampU8(float64(v) + delta)
+		}
+		return f
+	})
+}
+
+// Contrast scales luma around mid-grey: y' = 128 + factor·(y − 128).
+func Contrast(src vframe.Source, factor float64) vframe.Source {
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		for i, v := range f.Y {
+			f.Y[i] = clampU8(128 + factor*(float64(v)-128))
+		}
+		return f
+	})
+}
+
+// ColorShift offsets the chroma planes by (dCb, dCr).
+func ColorShift(src vframe.Source, dCb, dCr float64) vframe.Source {
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		for i := range f.Cb {
+			f.Cb[i] = clampU8(float64(f.Cb[i]) + dCb)
+			f.Cr[i] = clampU8(float64(f.Cr[i]) + dCr)
+		}
+		return f
+	})
+}
+
+// Noise adds deterministic pseudo-random uniform noise in [−amp, amp] to the
+// luma plane. The noise for a given (seed, frame, pixel) never changes, so
+// edited streams stay reproducible.
+func Noise(src vframe.Source, amp float64, seed int64) vframe.Source {
+	return vframe.Map(src, func(i int, f *vframe.Frame) *vframe.Frame {
+		h := splitmix64(uint64(seed) ^ uint64(i)*0x9E3779B97F4A7C15)
+		// One PRNG stream per frame; advance per pixel.
+		state := h
+		for j, v := range f.Y {
+			state = splitmix64(state)
+			n := (float64(state>>11)/float64(1<<53) - 0.5) * 2 * amp
+			f.Y[j] = clampU8(float64(v) + n)
+			_ = j
+		}
+		return f
+	})
+}
+
+// Rescale changes the frame resolution to w×h (multiples of 16) with
+// bilinear resampling.
+func Rescale(src vframe.Source, w, h int) vframe.Source {
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		return vframe.Resize(f, w, h)
+	})
+}
+
+// Resample changes the frame rate to newFPS by nearest-frame index mapping
+// (the temporal effect of an NTSC→PAL re-encode). The output duration in
+// seconds matches the input.
+func Resample(src vframe.Source, newFPS float64) vframe.Source {
+	if newFPS <= 0 {
+		panic("edit: Resample to non-positive FPS")
+	}
+	n := int(math.Round(float64(src.Len()) * newFPS / src.FPS()))
+	if n < 1 {
+		n = 1
+	}
+	return &resampleSource{parent: src, fps: newFPS, n: n}
+}
+
+type resampleSource struct {
+	parent vframe.Source
+	fps    float64
+	n      int
+}
+
+func (r *resampleSource) Len() int     { return r.n }
+func (r *resampleSource) FPS() float64 { return r.fps }
+
+func (r *resampleSource) Frame(i int) *vframe.Frame {
+	j := int(math.Round(float64(i) * r.parent.FPS() / r.fps))
+	if j >= r.parent.Len() {
+		j = r.parent.Len() - 1
+	}
+	return r.parent.Frame(j)
+}
+
+// Letterbox overlays black bars covering barFrac of the frame height (half
+// on top, half on bottom) — the aspect-ratio attack of re-broadcast copies.
+// barFrac must lie in [0, 0.9].
+func Letterbox(src vframe.Source, barFrac float64) vframe.Source {
+	if barFrac < 0 || barFrac > 0.9 {
+		panic(fmt.Sprintf("edit: letterbox fraction %g out of [0, 0.9]", barFrac))
+	}
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		bar := int(float64(f.H) * barFrac / 2)
+		for y := 0; y < bar; y++ {
+			blackRow(f, y)
+			blackRow(f, f.H-1-y)
+		}
+		return f
+	})
+}
+
+func blackRow(f *vframe.Frame, y int) {
+	for x := 0; x < f.W; x++ {
+		f.Y[y*f.W+x] = 16
+	}
+	cy := y / 2
+	for x := 0; x < f.W/2; x++ {
+		f.Cb[cy*f.W/2+x] = 128
+		f.Cr[cy*f.W/2+x] = 128
+	}
+}
+
+// CenterCrop keeps the central keepFrac of each dimension and scales back
+// to the original geometry (the zoom/crop attack). keepFrac must lie in
+// (0, 1]; the crop window is snapped so the intermediate frame keeps
+// 16-multiple dimensions.
+func CenterCrop(src vframe.Source, keepFrac float64) vframe.Source {
+	if keepFrac <= 0 || keepFrac > 1 {
+		panic(fmt.Sprintf("edit: crop fraction %g out of (0, 1]", keepFrac))
+	}
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		cw := snap16(int(float64(f.W) * keepFrac))
+		ch := snap16(int(float64(f.H) * keepFrac))
+		if cw >= f.W && ch >= f.H {
+			return f
+		}
+		x0 := (f.W - cw) / 2 / 2 * 2 // even, for chroma alignment
+		y0 := (f.H - ch) / 2 / 2 * 2
+		cropped := vframe.NewFrame(cw, ch)
+		for y := 0; y < ch; y++ {
+			copy(cropped.Y[y*cw:(y+1)*cw], f.Y[(y0+y)*f.W+x0:])
+		}
+		for y := 0; y < ch/2; y++ {
+			copy(cropped.Cb[y*cw/2:(y+1)*cw/2], f.Cb[(y0/2+y)*f.W/2+x0/2:])
+			copy(cropped.Cr[y*cw/2:(y+1)*cw/2], f.Cr[(y0/2+y)*f.W/2+x0/2:])
+		}
+		return vframe.Resize(cropped, f.W, f.H)
+	})
+}
+
+func snap16(v int) int {
+	v -= v % 16
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// Logo overlays an opaque bright rectangle in a corner — the broadcaster
+// watermark every re-aired copy carries. sizeFrac is the logo's side as a
+// fraction of the frame's smaller dimension (0 disables, max 0.5); corner
+// 0..3 selects TL, TR, BL, BR.
+func Logo(src vframe.Source, sizeFrac float64, corner int) vframe.Source {
+	if sizeFrac < 0 || sizeFrac > 0.5 {
+		panic(fmt.Sprintf("edit: logo size %g out of [0, 0.5]", sizeFrac))
+	}
+	if corner < 0 || corner > 3 {
+		panic(fmt.Sprintf("edit: logo corner %d out of [0, 3]", corner))
+	}
+	return vframe.Map(src, func(_ int, f *vframe.Frame) *vframe.Frame {
+		minDim := f.W
+		if f.H < minDim {
+			minDim = f.H
+		}
+		s := int(float64(minDim) * sizeFrac)
+		if s == 0 {
+			return f
+		}
+		const margin = 4
+		x0, y0 := margin, margin
+		if corner == 1 || corner == 3 {
+			x0 = f.W - margin - s
+		}
+		if corner == 2 || corner == 3 {
+			y0 = f.H - margin - s
+		}
+		for y := y0; y < y0+s; y++ {
+			for x := x0; x < x0+s; x++ {
+				f.Y[y*f.W+x] = 235
+			}
+		}
+		for y := y0 / 2; y < (y0+s)/2; y++ {
+			for x := x0 / 2; x < (x0+s)/2; x++ {
+				f.Cb[y*f.W/2+x] = 128
+				f.Cr[y*f.W/2+x] = 128
+			}
+		}
+		return f
+	})
+}
+
+// Reorder permutes fixed-length segments of the video. segFrames is the
+// segment length in frames; the final short segment (if any) participates in
+// the permutation too. The permutation is drawn deterministically from seed
+// and is guaranteed to be non-identity whenever there are at least two
+// segments. This models the paper's story-line re-editing attack: content
+// is preserved, temporal order is not.
+func Reorder(src vframe.Source, segFrames int, seed int64) vframe.Source {
+	if segFrames <= 0 {
+		panic("edit: Reorder with non-positive segment length")
+	}
+	n := src.Len()
+	numSeg := (n + segFrames - 1) / segFrames
+	perm := randomPermutation(numSeg, uint64(seed))
+	return ReorderPerm(src, segFrames, perm)
+}
+
+// ReorderPerm permutes fixed-length segments by an explicit permutation:
+// output segment k is input segment perm[k].
+func ReorderPerm(src vframe.Source, segFrames int, perm []int) vframe.Source {
+	n := src.Len()
+	numSeg := (n + segFrames - 1) / segFrames
+	if len(perm) != numSeg {
+		panic(fmt.Sprintf("edit: permutation length %d != segment count %d", len(perm), numSeg))
+	}
+	rs := &reorderSource{parent: src}
+	for _, p := range perm {
+		start := p * segFrames
+		length := segFrames
+		if start+length > n {
+			length = n - start
+		}
+		rs.segStart = append(rs.segStart, start)
+		rs.segLen = append(rs.segLen, length)
+		rs.cum = append(rs.cum, rs.total)
+		rs.total += length
+	}
+	return rs
+}
+
+type reorderSource struct {
+	parent   vframe.Source
+	segStart []int
+	segLen   []int
+	cum      []int // output start offset of each segment
+	total    int
+}
+
+func (r *reorderSource) Len() int     { return r.total }
+func (r *reorderSource) FPS() float64 { return r.parent.FPS() }
+
+func (r *reorderSource) Frame(i int) *vframe.Frame {
+	if i < 0 || i >= r.total {
+		panic(fmt.Sprintf("edit: reorder frame %d out of range 0..%d", i, r.total))
+	}
+	lo, hi := 0, len(r.cum)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.cum[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return r.parent.Frame(r.segStart[lo] + (i - r.cum[lo]))
+}
+
+// randomPermutation derives a deterministic Fisher–Yates shuffle of [0, n)
+// from seed, re-drawing until it is non-identity when n >= 2.
+func randomPermutation(n int, seed uint64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if n < 2 {
+		return perm
+	}
+	for attempt := uint64(0); ; attempt++ {
+		state := splitmix64(seed ^ attempt*0xA5A5A5A5)
+		for i := n - 1; i > 0; i-- {
+			state = splitmix64(state)
+			j := int(state % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i, p := range perm {
+			if p != i {
+				return perm
+			}
+		}
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

@@ -1,0 +1,264 @@
+package edit
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vdsms/internal/vframe"
+)
+
+func synth(n int, seed int64) vframe.Source {
+	return vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: n, Seed: seed, FPS: 30})
+}
+
+func TestBrightness(t *testing.T) {
+	src := synth(3, 1)
+	before := src.Frame(0).MeanLuma()
+	up := Brightness(src, 40)
+	after := up.Frame(0).MeanLuma()
+	if after <= before {
+		t.Errorf("mean luma %f after +40 brightness, was %f", after, before)
+	}
+	down := Brightness(src, -40)
+	if d := down.Frame(0).MeanLuma(); d >= before {
+		t.Errorf("mean luma %f after -40 brightness, was %f", d, before)
+	}
+}
+
+func TestBrightnessClamps(t *testing.T) {
+	src := synth(1, 2)
+	bright := Brightness(src, 500)
+	for _, v := range bright.Frame(0).Y {
+		if v != 255 {
+			t.Fatalf("luma %d after +500, want clamp to 255", v)
+		}
+	}
+}
+
+func TestContrast(t *testing.T) {
+	src := synth(1, 3)
+	f := Contrast(src, 0).Frame(0)
+	for _, v := range f.Y {
+		if v != 128 {
+			t.Fatalf("luma %d after zero contrast, want 128", v)
+		}
+	}
+	// Expanding contrast increases variance.
+	varOf := func(f *vframe.Frame) float64 {
+		m := f.MeanLuma()
+		var s float64
+		for _, v := range f.Y {
+			d := float64(v) - m
+			s += d * d
+		}
+		return s / float64(len(f.Y))
+	}
+	base := varOf(src.Frame(0).Clone())
+	wide := varOf(Contrast(src, 1.5).Frame(0))
+	if wide <= base {
+		t.Errorf("variance %f after 1.5 contrast, was %f", wide, base)
+	}
+}
+
+func TestColorShift(t *testing.T) {
+	src := synth(1, 4)
+	orig := src.Frame(0).Clone()
+	sh := ColorShift(src, 10, -10).Frame(0)
+	for i := range orig.Cb {
+		wantCb := clampU8(float64(orig.Cb[i]) + 10)
+		wantCr := clampU8(float64(orig.Cr[i]) - 10)
+		if sh.Cb[i] != wantCb || sh.Cr[i] != wantCr {
+			t.Fatalf("chroma shift wrong at %d", i)
+		}
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	src := synth(2, 5)
+	n1 := Noise(src, 10, 99)
+	f1 := n1.Frame(1).Clone()
+	f2 := Noise(src, 10, 99).Frame(1)
+	if !math.IsInf(vframe.PSNR(f1, f2), 1) {
+		t.Error("noise not deterministic for identical seeds")
+	}
+	orig := src.Frame(1).Clone()
+	for i := range orig.Y {
+		if d := math.Abs(float64(f1.Y[i]) - float64(orig.Y[i])); d > 10.5 {
+			// Clamping can only shrink the difference.
+			t.Fatalf("noise delta %f exceeds amplitude at %d", d, i)
+		}
+	}
+	f3 := Noise(src, 10, 100).Frame(1)
+	if math.IsInf(vframe.PSNR(f1, f3), 1) {
+		t.Error("different noise seeds produced identical output")
+	}
+}
+
+func TestRescaleGeometry(t *testing.T) {
+	src := synth(2, 6)
+	out := Rescale(src, 96, 80)
+	f := out.Frame(0)
+	if f.W != 96 || f.H != 80 {
+		t.Errorf("rescaled frame is %dx%d", f.W, f.H)
+	}
+}
+
+func TestResampleLengthAndContent(t *testing.T) {
+	src := synth(300, 7) // 10 s at 30 fps
+	out := Resample(src, 25)
+	if out.FPS() != 25 {
+		t.Errorf("FPS = %g", out.FPS())
+	}
+	if out.Len() != 250 {
+		t.Errorf("Len = %d, want 250", out.Len())
+	}
+	if math.Abs(vframe.Duration(out)-vframe.Duration(src)) > 0.2 {
+		t.Errorf("duration changed: %g vs %g", vframe.Duration(out), vframe.Duration(src))
+	}
+	// Frame 25 of the 25fps stream corresponds to 1 s, i.e. frame 30.
+	want := src.Frame(30).Clone()
+	if !math.IsInf(vframe.PSNR(want, out.Frame(25)), 1) {
+		t.Error("resampled frame 25 != source frame 30")
+	}
+}
+
+func TestResampleUp(t *testing.T) {
+	src := synth(50, 8)
+	out := Resample(src, 60)
+	if out.Len() != 100 {
+		t.Errorf("Len = %d, want 100", out.Len())
+	}
+	// Upsampled stream duplicates frames; last index must stay in range.
+	out.Frame(out.Len() - 1)
+}
+
+func TestReorderPreservesContent(t *testing.T) {
+	src := synth(100, 9)
+	out := Reorder(src, 25, 11)
+	if out.Len() != 100 {
+		t.Fatalf("reordered length %d", out.Len())
+	}
+	// The multiset of frames must be preserved: compare sorted mean lumas.
+	collect := func(s vframe.Source) []float64 {
+		v := make([]float64, s.Len())
+		for i := range v {
+			v[i] = s.Frame(i).MeanLuma()
+		}
+		sort.Float64s(v)
+		return v
+	}
+	a, b := collect(src), collect(out)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("frame multiset changed at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReorderIsNonIdentity(t *testing.T) {
+	src := synth(100, 10)
+	out := Reorder(src, 20, 12)
+	same := true
+	for i := 0; i < 100; i += 7 {
+		a := src.Frame(i).Clone()
+		if !math.IsInf(vframe.PSNR(a, out.Frame(i)), 1) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("reordering produced the identity order")
+	}
+}
+
+func TestReorderPermExplicit(t *testing.T) {
+	src := synth(90, 13)
+	out := ReorderPerm(src, 30, []int{2, 0, 1})
+	// Output frame 0 should be input frame 60.
+	want := src.Frame(60).Clone()
+	if !math.IsInf(vframe.PSNR(want, out.Frame(0)), 1) {
+		t.Error("ReorderPerm segment mapping wrong")
+	}
+	want = src.Frame(0).Clone()
+	if !math.IsInf(vframe.PSNR(want, out.Frame(30)), 1) {
+		t.Error("ReorderPerm second segment wrong")
+	}
+}
+
+func TestReorderShortTail(t *testing.T) {
+	src := synth(70, 14) // segments of 30: lengths 30, 30, 10
+	out := Reorder(src, 30, 15)
+	if out.Len() != 70 {
+		t.Errorf("length with short tail = %d, want 70", out.Len())
+	}
+	out.Frame(69) // must not panic
+}
+
+func TestRandomPermutationProperties(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n)%20 + 2
+		p := randomPermutation(size, seed)
+		seen := make([]bool, size)
+		identity := true
+		for i, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+			if v != i {
+				identity = false
+			}
+		}
+		return !identity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttackApplyFull(t *testing.T) {
+	src := synth(120, 16)
+	a := PaperAttack(7, 96, 80, 25, 25)
+	out := a.Apply(src)
+	if out.FPS() != 25 {
+		t.Errorf("attacked FPS = %g", out.FPS())
+	}
+	f := out.Frame(0)
+	if f.W != 96 || f.H != 80 {
+		t.Errorf("attacked geometry %dx%d", f.W, f.H)
+	}
+	// Attacked stream must differ from a plain resample of the original.
+	plain := Resample(Rescale(src, 96, 80), 25)
+	if math.IsInf(vframe.PSNR(out.Frame(10).Clone(), plain.Frame(10)), 1) {
+		t.Error("attack left frames unchanged")
+	}
+}
+
+func TestAttackZeroIsIdentity(t *testing.T) {
+	src := synth(10, 17)
+	out := Attack{}.Apply(src)
+	want := src.Frame(3).Clone()
+	if !math.IsInf(vframe.PSNR(want, out.Frame(3)), 1) {
+		t.Error("zero attack modified frames")
+	}
+	if out.Len() != src.Len() || out.FPS() != src.FPS() {
+		t.Error("zero attack changed shape")
+	}
+}
+
+func TestPaperAttackDeterministic(t *testing.T) {
+	a := PaperAttack(42, 96, 80, 25, 30)
+	b := PaperAttack(42, 96, 80, 25, 30)
+	if a != b {
+		t.Error("PaperAttack not deterministic")
+	}
+	c := PaperAttack(43, 96, 80, 25, 30)
+	if a == c {
+		t.Error("different seeds gave identical attacks")
+	}
+	if s := math.Abs(a.BrightnessDelta); s < 0.2*60-1e-9 || s > 0.5*60+1e-9 {
+		t.Errorf("brightness delta %g outside the 20-50%% alteration band", a.BrightnessDelta)
+	}
+}

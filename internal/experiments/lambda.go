@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vdsms/internal/core"
+	"vdsms/internal/edit"
+	"vdsms/internal/feature"
+	"vdsms/internal/partition"
+	"vdsms/internal/stats"
+	"vdsms/internal/vframe"
+	"vdsms/internal/workload"
+)
+
+// AblationLambda validates the tempo-scaling bound of Section IV.A: the
+// paper (citing Fu et al. [28]) caps candidate sequences at λL with λ=2,
+// asserting the optimal tempo scaling never exceeds 2. This experiment
+// re-times each copy by a stretch factor before insertion and measures
+// recall under λ=2 and λ=1: stretches within λ stay detectable (candidate
+// expiry leaves room to cover them); stretches beyond it collapse.
+func AblationLambda(l *Lab) (*stats.Table, error) {
+	ex, err := feature.NewExtractor(feature.Config{D: 5})
+	if err != nil {
+		return nil, err
+	}
+	pt, err := partition.New(4, 5, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	base := l.VS1()
+	cfg := base.Cfg
+
+	ids := func(src vframe.Source) ([]uint64, error) {
+		feats, err := workload.Features(src, cfg.Quality, ex)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint64, len(feats))
+		for i, f := range feats {
+			out[i] = pt.Cell(f)
+		}
+		return out, nil
+	}
+
+	// Background filler between copies, reused.
+	bg := vframe.NewSynth(vframe.SynthConfig{
+		W: cfg.W, H: cfg.H, FPS: cfg.KeyFPS,
+		NumFrames: cfg.KeyWindowFrames(30), Seed: cfg.Seed * 999,
+	})
+	bgIDs, err := ids(bg)
+	if err != nil {
+		return nil, err
+	}
+	queryIDs := make(map[int][]uint64, len(base.Queries))
+	for _, q := range base.Queries {
+		qi, err := ids(q.Video)
+		if err != nil {
+			return nil, err
+		}
+		queryIDs[q.ID] = qi
+	}
+
+	wFrames := cfg.KeyWindowFrames(5)
+	tb := stats.NewTable("Ablation: tempo scaling vs the λL candidate bound (VS1 copies re-timed)",
+		"stretch", "recall λ=1", "recall λ=2", "recall λ=4")
+	for _, stretch := range []float64{1.0, 1.25, 1.5, 2.0, 3.0} {
+		// Build a stream of re-timed copies separated by background.
+		var streamIDs []uint64
+		var truth []workload.Insertion
+		for _, q := range base.Queries {
+			streamIDs = append(streamIDs, bgIDs...)
+			begin := len(streamIDs)
+			stretched := q.Video
+			if stretch != 1.0 {
+				// Slow the copy down: decode-rate trick via Resample twice.
+				stretched = edit.Resample(edit.Resample(q.Video, cfg.KeyFPS/stretch), cfg.KeyFPS)
+			}
+			si, err := ids(stretched)
+			if err != nil {
+				return nil, err
+			}
+			streamIDs = append(streamIDs, si...)
+			truth = append(truth, workload.Insertion{QueryID: q.ID, Begin: begin, End: len(streamIDs)})
+		}
+		streamIDs = append(streamIDs, bgIDs...)
+
+		row := []any{fmt.Sprintf("%.2f×", stretch)}
+		for _, lambda := range []float64{1, 2, 4} {
+			eng, err := core.NewEngine(core.Config{
+				K: 800, Seed: 1, Delta: 0.5, Lambda: lambda, WindowFrames: wFrames,
+				Order: core.Sequential, Method: core.Bit, UseIndex: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for qid, qi := range queryIDs {
+				if err := eng.AddQuery(qid, qi); err != nil {
+					return nil, err
+				}
+			}
+			for _, id := range streamIDs {
+				eng.PushFrame(id)
+			}
+			eng.Flush()
+			reports := make([]workload.Position, 0, len(eng.Matches))
+			for _, m := range eng.Matches {
+				reports = append(reports, workload.Position{QueryID: m.QueryID, P: m.DetectedAt})
+			}
+			ev := workload.Evaluate(reports, truth, wFrames)
+			row = append(row, ev.Recall)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"vdsms/internal/edit"
+	"vdsms/internal/feature"
+	"vdsms/internal/partition"
+	"vdsms/internal/stats"
+	"vdsms/internal/vframe"
+	"vdsms/internal/workload"
+)
+
+// Robustness quantifies the fingerprint's stability under each editing
+// attack in isolation and under the paper's combined VS2 attack: for every
+// query video the attacked copy's cell-id set is compared to the original's
+// by exact Jaccard, and recall is the fraction of queries whose copy stays
+// above the similarity threshold. This makes Section III.A's robustness
+// claims measurable attack by attack.
+func Robustness(l *Lab) (*stats.Table, error) {
+	ex, err := feature.NewExtractor(feature.Config{D: 5})
+	if err != nil {
+		return nil, err
+	}
+	pt, err := partition.New(4, 5, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	wl := l.VS1()
+	quality := wl.Cfg.Quality
+	ids := func(src vframe.Source) ([]uint64, error) {
+		feats, err := workload.Features(src, quality, ex)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint64, len(feats))
+		for i, f := range feats {
+			out[i] = pt.Cell(f)
+		}
+		return out, nil
+	}
+
+	type attackCase struct {
+		name string
+		fn   func(vframe.Source, int) vframe.Source
+	}
+	conform := func(src vframe.Source, cfg workload.Config) vframe.Source {
+		out := src
+		if f := out.Frame(0); f.W != cfg.W || f.H != cfg.H {
+			out = edit.Rescale(out, cfg.W, cfg.H)
+		}
+		if out.FPS() != cfg.KeyFPS {
+			out = edit.Resample(out, cfg.KeyFPS)
+		}
+		return out
+	}
+	cfg := wl.Cfg
+	cases := []attackCase{
+		{"none", func(s vframe.Source, _ int) vframe.Source { return s }},
+		{"brightness+20", func(s vframe.Source, _ int) vframe.Source { return edit.Brightness(s, 20) }},
+		{"contrast 1.15", func(s vframe.Source, _ int) vframe.Source { return edit.Contrast(s, 1.15) }},
+		{"noise ±8", func(s vframe.Source, i int) vframe.Source { return edit.Noise(s, 8, int64(i)) }},
+		{"resize +16px", func(s vframe.Source, _ int) vframe.Source {
+			return edit.Rescale(s, cfg.W+16, cfg.H+16)
+		}},
+		{"fps 29.97→25", func(s vframe.Source, _ int) vframe.Source {
+			return edit.Resample(s, cfg.KeyFPS*25/29.97)
+		}},
+		{"reorder 5s", func(s vframe.Source, i int) vframe.Source {
+			seg := cfg.KeyWindowFrames(5)
+			return edit.Reorder(s, seg, int64(i)*13+1)
+		}},
+		{"logo 12%", func(s vframe.Source, i int) vframe.Source { return edit.Logo(s, 0.12, i%4) }},
+		{"letterbox 20%", func(s vframe.Source, _ int) vframe.Source { return edit.Letterbox(s, 0.2) }},
+		{"crop 80%", func(s vframe.Source, _ int) vframe.Source { return edit.CenterCrop(s, 0.8) }},
+		{"combined (VS2)", func(s vframe.Source, i int) vframe.Source {
+			seg := int(cfg.ReorderSegSec * cfg.KeyFPS * 25 / 29.97)
+			if seg < 1 {
+				seg = 1
+			}
+			a := edit.PaperAttack(int64(i)*31+7, cfg.W+16, cfg.H+16, cfg.KeyFPS*25/29.97, seg)
+			return a.Apply(s)
+		}},
+	}
+
+	// Original fingerprints are attack-independent: compute them once.
+	origIDs := make(map[int][]uint64, len(wl.Queries))
+	for _, q := range wl.Queries {
+		o, err := ids(q.Video)
+		if err != nil {
+			return nil, err
+		}
+		origIDs[q.ID] = o
+	}
+
+	tb := stats.NewTable("Robustness: original-vs-attacked set similarity per attack (u=4, d=5)",
+		"attack", "mean Jaccard", "recall δ=0.5", "recall δ=0.7")
+	for _, c := range cases {
+		var sum float64
+		var r5, r7, n int
+		for i, q := range wl.Queries {
+			orig := origIDs[q.ID]
+			attacked, err := ids(conform(c.fn(q.Video, i), cfg))
+			if err != nil {
+				return nil, err
+			}
+			j := partition.Jaccard(orig, attacked)
+			sum += j
+			if j >= 0.5 {
+				r5++
+			}
+			if j >= 0.7 {
+				r7++
+			}
+			n++
+		}
+		tb.AddRow(c.name, sum/float64(n), float64(r5)/float64(n), float64(r7)/float64(n))
+	}
+	return tb, nil
+}

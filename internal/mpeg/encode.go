@@ -1,0 +1,266 @@
+package mpeg
+
+import (
+	"fmt"
+	"io"
+
+	"vdsms/internal/bitio"
+	"vdsms/internal/dct"
+	"vdsms/internal/vframe"
+)
+
+// Encoder writes an MVC1 bitstream. I frames are coded per plane (all luma
+// blocks in raster order, then Cb, then Cr) so a partial decoder can stop
+// after the luma DC terms it needs. P frames carry a DPCM motion field
+// (one vector per macroblock, found by three-step search) ahead of the
+// per-plane motion-compensated residual blocks.
+type Encoder struct {
+	w     io.Writer
+	hdr   StreamHeader
+	coder *blockCoder
+	prev  *vframe.Frame // reconstruction of the previously coded frame
+	work  *vframe.Frame // reconstruction being built for this frame
+	count int           // frames written
+	bw    *bitio.Writer // reused payload buffer
+	// DisableMC forces all motion vectors to zero (ablation/benchmarking;
+	// the motion field is still coded, costing 2 bits per macroblock).
+	DisableMC bool
+	// SceneCutSAD, when positive, enables content-adaptive I-frames: a
+	// frame scheduled as P is promoted to I when even the best
+	// motion-compensated prediction leaves a mean per-pixel luma SAD above
+	// this threshold (a shot boundary). Typical values are 12–25. The GOP
+	// counter restarts at the promoted frame, like a real encoder's
+	// adaptive GOP.
+	SceneCutSAD float64
+	gopPhase    int // frames since the last I frame
+}
+
+// NewEncoder writes the stream header and returns an encoder for it.
+func NewEncoder(w io.Writer, hdr StreamHeader) (*Encoder, error) {
+	if err := writeHeader(w, hdr); err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		w:     w,
+		hdr:   hdr,
+		coder: newBlockCoder(hdr.Quality),
+		prev:  vframe.NewFrame(hdr.W, hdr.H),
+		work:  vframe.NewFrame(hdr.W, hdr.H),
+		bw:    bitio.NewWriter(hdr.W * hdr.H / 4),
+	}, nil
+}
+
+// Header returns the stream parameters.
+func (e *Encoder) Header() StreamHeader { return e.hdr }
+
+// WriteFrame encodes f as the next frame. The first frame of every GOP is
+// intra-coded; the rest are motion-compensated from the reconstruction of
+// the previous frame (matching what the decoder will see, so there is no
+// drift).
+func (e *Encoder) WriteFrame(f *vframe.Frame) (FrameInfo, error) {
+	if f.W != e.hdr.W || f.H != e.hdr.H {
+		return FrameInfo{}, fmt.Errorf("mpeg: frame %dx%d does not match stream %dx%d",
+			f.W, f.H, e.hdr.W, e.hdr.H)
+	}
+	intra := e.count == 0 || e.gopPhase >= e.hdr.GOP
+	if !intra && e.SceneCutSAD > 0 && e.isSceneCut(f) {
+		intra = true
+	}
+	if intra {
+		e.gopPhase = 1
+	} else {
+		e.gopPhase++
+	}
+	e.bw.Reset()
+	e.coder.resetPredictors()
+
+	if intra {
+		forEachPlane(f, e.work, func(plane int, cur, rec []uint8, stride, bw, bh int) {
+			var spatial dct.Block
+			for by := 0; by < bh; by++ {
+				for bx := 0; bx < bw; bx++ {
+					extractBlock(cur, stride, bx, by, &spatial)
+					r := e.encodeAndReconstruct(plane, &spatial)
+					storeBlock(rec, stride, bx, by, r)
+				}
+			}
+		})
+	} else {
+		e.encodePFrame(f)
+	}
+	e.prev, e.work = e.work, e.prev
+
+	payload := e.bw.Bytes()
+	typ := byte(frameTypeP)
+	if intra {
+		typ = frameTypeI
+	}
+	if err := writeFrameHeader(e.w, typ, len(payload)); err != nil {
+		return FrameInfo{}, err
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return FrameInfo{}, err
+	}
+	info := FrameInfo{
+		Index: e.count,
+		Key:   intra,
+		PTS:   float64(e.count) / e.hdr.FPS(),
+		Bytes: len(payload),
+	}
+	e.count++
+	return info, nil
+}
+
+// isSceneCut reports whether even motion-compensated prediction from the
+// previous reconstruction leaves a residual too large to be worth P-coding:
+// the mean per-pixel SAD of the best vector per macroblock exceeds
+// SceneCutSAD. A cheap zero-vector pre-check skips the motion search on
+// clearly continuous frames.
+func (e *Encoder) isSceneCut(f *vframe.Frame) bool {
+	mbW, mbH := e.hdr.W/16, e.hdr.H/16
+	budget := e.SceneCutSAD * float64(e.hdr.W*e.hdr.H)
+	var zeroTotal float64
+	for mby := 0; mby < mbH; mby++ {
+		for mbx := 0; mbx < mbW; mbx++ {
+			zeroTotal += float64(sad16(f.Y, e.prev.Y, f.W, f.H, mbx, mby, motionVector{}, 1<<30))
+		}
+	}
+	if zeroTotal <= budget {
+		return false
+	}
+	if e.DisableMC {
+		return true
+	}
+	var total float64
+	var pred motionVector
+	for mby := 0; mby < mbH; mby++ {
+		for mbx := 0; mbx < mbW; mbx++ {
+			mv, sad := searchMotion(f.Y, e.prev.Y, f.W, f.H, mbx, mby, pred)
+			pred = mv
+			total += float64(sad)
+			if total > budget {
+				return true
+			}
+		}
+	}
+	return total > budget
+}
+
+// encodePFrame codes one predicted frame: motion search per macroblock,
+// the DPCM motion field, then per-plane MC residual blocks.
+func (e *Encoder) encodePFrame(f *vframe.Frame) {
+	mbW, mbH := e.hdr.W/16, e.hdr.H/16
+	field := make([]motionVector, mbW*mbH)
+	if !e.DisableMC {
+		var pred motionVector
+		for mby := 0; mby < mbH; mby++ {
+			for mbx := 0; mbx < mbW; mbx++ {
+				mv, _ := searchMotion(f.Y, e.prev.Y, f.W, f.H, mbx, mby, pred)
+				field[mby*mbW+mbx] = mv
+				pred = mv
+			}
+		}
+	}
+	writeMotionField(e.bw, field)
+
+	forEachPlane(f, e.prev, func(plane int, cur, ref []uint8, stride, bw, bh int) {
+		h := bh * 8
+		rec := e.workPlane(plane)
+		var spatial dct.Block
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				mv := blockMV(field, mbW, plane, bx, by)
+				extractResidualMC(cur, ref, stride, h, bx, by, mv, &spatial)
+				r := e.encodeAndReconstruct(plane, &spatial)
+				addResidualMC(rec, ref, stride, h, bx, by, mv, r)
+			}
+		}
+	})
+}
+
+// workPlane returns the reconstruction plane being built.
+func (e *Encoder) workPlane(plane int) []uint8 {
+	switch plane {
+	case planeY:
+		return e.work.Y
+	case planeCb:
+		return e.work.Cb
+	default:
+		return e.work.Cr
+	}
+}
+
+// blockMV maps an 8×8 block of a plane to its macroblock's motion vector.
+// Luma blocks tile macroblocks 2×2; each chroma block covers one whole
+// macroblock, with the vector halved for the subsampled geometry.
+func blockMV(field []motionVector, mbW, plane, bx, by int) motionVector {
+	if plane == planeY {
+		return field[(by/2)*mbW+bx/2]
+	}
+	return chromaMV(field[by*mbW+bx])
+}
+
+// encodeAndReconstruct entropy-codes one block and returns its
+// reconstruction (quantise → dequantise → inverse transform), which the
+// encoder stores so P-frame prediction matches the decoder exactly.
+func (e *Encoder) encodeAndReconstruct(plane int, spatial *dct.Block) *dct.Block {
+	var freq dct.Block
+	var lv dct.IntBlock
+	dct.Forward(spatial, &freq)
+	q := e.coder.quant(plane)
+	dct.Quantise(&freq, q, &lv)
+	e.coder.writeLevels(e.bw, plane, &lv)
+	dct.Dequantise(&lv, q, &freq)
+	dct.Inverse(&freq, spatial)
+	return spatial
+}
+
+// forEachPlane invokes fn for the three planes of a frame with matching
+// reference plane, stride and block-grid dimensions.
+func forEachPlane(f, ref *vframe.Frame, fn func(plane int, cur, refp []uint8, stride, bw, bh int)) {
+	fn(planeY, f.Y, ref.Y, f.W, f.W/8, f.H/8)
+	fn(planeCb, f.Cb, ref.Cb, f.W/2, f.W/16, f.H/16)
+	fn(planeCr, f.Cr, ref.Cr, f.W/2, f.W/16, f.H/16)
+}
+
+// EncodeSource encodes every frame of src to w with the given quality and
+// GOP length, deriving the stream header from the source geometry.
+func EncodeSource(w io.Writer, src vframe.Source, quality, gop int) (StreamHeader, error) {
+	if src.Len() == 0 {
+		return StreamHeader{}, fmt.Errorf("mpeg: empty source")
+	}
+	f0 := src.Frame(0)
+	num, den := fpsToRational(src.FPS())
+	hdr := StreamHeader{
+		W: f0.W, H: f0.H,
+		FPSNum: num, FPSDen: den,
+		Quality: quality, GOP: gop,
+	}
+	enc, err := NewEncoder(w, hdr)
+	if err != nil {
+		return StreamHeader{}, err
+	}
+	for i := 0; i < src.Len(); i++ {
+		if _, err := enc.WriteFrame(src.Frame(i)); err != nil {
+			return StreamHeader{}, fmt.Errorf("mpeg: encoding frame %d: %w", i, err)
+		}
+	}
+	return hdr, nil
+}
+
+// fpsToRational maps common frame rates to exact rationals (29.97 →
+// 30000/1001) and everything else to a 1000-denominator approximation.
+func fpsToRational(fps float64) (num, den uint32) {
+	switch fps {
+	case 29.97:
+		return 30000, 1001
+	case 23.976:
+		return 24000, 1001
+	case 59.94:
+		return 60000, 1001
+	}
+	if fps == float64(int(fps)) {
+		return uint32(fps), 1
+	}
+	return uint32(fps * 1000), 1000
+}

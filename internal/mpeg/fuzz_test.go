@@ -1,0 +1,60 @@
+package mpeg
+
+import (
+	"bytes"
+	"testing"
+
+	"vdsms/internal/vframe"
+)
+
+// seedStream builds a small valid stream used as the fuzz corpus seed.
+func seedStream(tb testing.TB) []byte {
+	src := vframe.NewSynth(vframe.SynthConfig{W: 32, H: 32, NumFrames: 4, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, src, 75, 2); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFullDecoder: arbitrary bytes must never panic the full decoder.
+func FuzzFullDecoder(f *testing.F) {
+	f.Add(seedStream(f))
+	f.Add([]byte("MVC1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 64; i++ { // bound work per input
+			if _, _, err := dec.Next(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzPartialDecoder: arbitrary bytes must never panic the partial decoder,
+// with and without retention.
+func FuzzPartialDecoder(f *testing.F) {
+	f.Add(seedStream(f), true)
+	f.Add([]byte("MVC1!!!!"), false)
+	f.Fuzz(func(t *testing.T, data []byte, retain bool) {
+		pd, err := NewPartialDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if retain {
+			pd.SetRetention(8)
+		}
+		for i := 0; i < 64; i++ {
+			if _, err := pd.Next(); err != nil {
+				return
+			}
+		}
+		if retain {
+			pd.ClipFrom(0)
+		}
+	})
+}

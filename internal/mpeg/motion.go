@@ -1,0 +1,185 @@
+package mpeg
+
+import (
+	"vdsms/internal/bitio"
+	"vdsms/internal/dct"
+)
+
+// Motion compensation. P frames carry one half-pel motion vector per 16×16
+// macroblock, found by three-step integer search plus half-pel refinement
+// over the previous frame's reconstruction, and coded as a DPCM motion
+// field ahead of the residual blocks. Half-pel samples are bilinear
+// averages, as in MPEG-1/2. Chroma blocks use the luma vector halved. The
+// partial decoder is unaffected: P frames are still skipped whole by their
+// length prefix.
+
+// mvRange bounds motion vectors to ±mvRange half-pels (±8 px) per axis.
+const mvRange = 16
+
+// motionVector is a displacement into the reference frame in half-pel
+// units.
+type motionVector struct{ dx, dy int }
+
+// sampleHalf returns the bilinear half-pel sample of a plane at half-pel
+// coordinates (hx, hy), clamping to the plane borders. Integer positions
+// degrade to a plain (exact) fetch.
+func sampleHalf(p []uint8, w, h, hx, hy int) int {
+	x0, y0 := hx>>1, hy>>1
+	x1, y1 := x0+hx&1, y0+hy&1
+	x0 = clampInt(x0, 0, w-1)
+	x1 = clampInt(x1, 0, w-1)
+	y0 = clampInt(y0, 0, h-1)
+	y1 = clampInt(y1, 0, h-1)
+	return (int(p[y0*w+x0]) + int(p[y0*w+x1]) + int(p[y1*w+x0]) + int(p[y1*w+x1]) + 2) >> 2
+}
+
+// sad16 computes the sum of absolute differences between the 16×16 luma
+// macroblock at (mbx·16, mby·16) in cur and the block displaced by the
+// half-pel vector mv in ref. Early-exits once the running sum exceeds best.
+func sad16(cur, ref []uint8, w, h, mbx, mby int, mv motionVector, best int) int {
+	x0, y0 := mbx*16, mby*16
+	var sum int
+	for y := 0; y < 16; y++ {
+		cy := y0 + y
+		crow := cy * w
+		hy := cy<<1 + mv.dy
+		for x := 0; x < 16; x++ {
+			cx := x0 + x
+			d := int(cur[crow+cx]) - sampleHalf(ref, w, h, cx<<1+mv.dx, hy)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= best {
+			return sum
+		}
+	}
+	return sum
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// searchMotion finds a good motion vector for one macroblock: three-step
+// integer-pel search seeded at the zero vector and the given predictor,
+// followed by a ±1 half-pel refinement. Returns the best half-pel vector
+// and its SAD.
+func searchMotion(cur, ref []uint8, w, h, mbx, mby int, pred motionVector) (motionVector, int) {
+	best := motionVector{}
+	bestSAD := sad16(cur, ref, w, h, mbx, mby, best, 1<<30)
+	if pred != (motionVector{}) {
+		p := clampMV(pred)
+		if s := sad16(cur, ref, w, h, mbx, mby, p, bestSAD); s < bestSAD {
+			best, bestSAD = p, s
+		}
+	}
+	// Integer-pel steps (in half-pel units: 8, 4, 2), then half-pel (1).
+	for _, step := range [...]int{8, 4, 2, 1} {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [...]motionVector{
+				{step, 0}, {-step, 0}, {0, step}, {0, -step},
+				{step, step}, {step, -step}, {-step, step}, {-step, -step},
+			} {
+				cand := clampMV(motionVector{best.dx + d.dx, best.dy + d.dy})
+				if cand == best {
+					continue
+				}
+				if s := sad16(cur, ref, w, h, mbx, mby, cand, bestSAD); s < bestSAD {
+					best, bestSAD = cand, s
+					improved = true
+				}
+			}
+		}
+	}
+	return best, bestSAD
+}
+
+func clampMV(mv motionVector) motionVector {
+	return motionVector{
+		dx: clampInt(mv.dx, -mvRange, mvRange),
+		dy: clampInt(mv.dy, -mvRange, mvRange),
+	}
+}
+
+// writeMotionField DPCM-codes the per-macroblock vectors in raster order.
+func writeMotionField(w *bitio.Writer, field []motionVector) {
+	var pred motionVector
+	for _, mv := range field {
+		w.WriteSE(int64(mv.dx - pred.dx))
+		w.WriteSE(int64(mv.dy - pred.dy))
+		pred = mv
+	}
+}
+
+// readMotionField decodes a DPCM motion field of n macroblocks.
+func readMotionField(r *bitio.Reader, n int) ([]motionVector, error) {
+	field := make([]motionVector, n)
+	var pred motionVector
+	for i := range field {
+		dx, err := r.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		dy, err := r.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		pred = motionVector{pred.dx + int(dx), pred.dy + int(dy)}
+		field[i] = pred
+	}
+	return field, nil
+}
+
+// extractResidualMC fills spatial with cur − MC(ref, mv) for the 8×8 tile
+// at block coordinates (bx, by) of a plane with the given geometry.
+func extractResidualMC(cur, ref []uint8, w, h, bx, by int, mv motionVector, spatial *dct.Block) {
+	x0, y0 := bx*8, by*8
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		hy := cy<<1 + mv.dy
+		for x := 0; x < 8; x++ {
+			cx := x0 + x
+			spatial[y*8+x] = float64(cur[cy*w+cx]) - float64(sampleHalf(ref, w, h, cx<<1+mv.dx, hy))
+		}
+	}
+}
+
+// addResidualMC reconstructs dst = MC(ref, mv) + residual with clamping.
+// dst and ref must be distinct buffers (the encoder and decoder both keep
+// separate previous/current reconstructions).
+func addResidualMC(dst, ref []uint8, w, h, bx, by int, mv motionVector, spatial *dct.Block) {
+	x0, y0 := bx*8, by*8
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		hy := cy<<1 + mv.dy
+		for x := 0; x < 8; x++ {
+			cx := x0 + x
+			v := float64(sampleHalf(ref, w, h, cx<<1+mv.dx, hy)) + spatial[y*8+x]
+			switch {
+			case v < 0:
+				dst[cy*w+cx] = 0
+			case v > 255:
+				dst[cy*w+cx] = 255
+			default:
+				dst[cy*w+cx] = uint8(v + 0.5)
+			}
+		}
+	}
+}
+
+// chromaMV halves a luma vector for the subsampled chroma planes (staying
+// in half-pel units, so quarter-pel luma motion rounds to the nearest
+// chroma half-pel identically in encoder and decoder).
+func chromaMV(mv motionVector) motionVector {
+	return motionVector{dx: mv.dx / 2, dy: mv.dy / 2}
+}

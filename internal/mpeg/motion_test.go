@@ -1,0 +1,242 @@
+package mpeg
+
+import (
+	"bytes"
+	"testing"
+
+	"vdsms/internal/bitio"
+	"vdsms/internal/vframe"
+)
+
+// translatedSource produces frames whose content shifts by (dx, dy) pixels
+// every frame — the canonical motion-compensation test pattern.
+type translatedSource struct {
+	base   *vframe.Frame
+	dx, dy int
+	n      int
+	buf    *vframe.Frame
+}
+
+func newTranslated(dx, dy, n int) *translatedSource {
+	synth := vframe.NewSynth(vframe.SynthConfig{W: 96, H: 80, NumFrames: 1, Seed: 5})
+	return &translatedSource{
+		base: synth.Frame(0).Clone(),
+		dx:   dx, dy: dy, n: n,
+		buf: vframe.NewFrame(96, 80),
+	}
+}
+
+func (t *translatedSource) Len() int     { return t.n }
+func (t *translatedSource) FPS() float64 { return 30 }
+
+func (t *translatedSource) Frame(i int) *vframe.Frame {
+	ox, oy := i*t.dx, i*t.dy
+	f := t.buf
+	for y := 0; y < f.H; y++ {
+		sy := clampInt(y-oy, 0, f.H-1)
+		for x := 0; x < f.W; x++ {
+			sx := clampInt(x-ox, 0, f.W-1)
+			f.Y[y*f.W+x] = t.base.Y[sy*f.W+sx]
+		}
+	}
+	copy(f.Cb, t.base.Cb)
+	copy(f.Cr, t.base.Cr)
+	return f
+}
+
+func TestMotionFieldRoundTrip(t *testing.T) {
+	field := []motionVector{{0, 0}, {3, -2}, {3, -2}, {-8, 8}, {1, 0}, {0, 7}}
+	w := bitio.NewWriter(16)
+	writeMotionField(w, field)
+	r := bitio.NewReader(w.Bytes())
+	got, err := readMotionField(r, len(field))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range field {
+		if got[i] != field[i] {
+			t.Errorf("vector %d: %v, want %v", i, got[i], field[i])
+		}
+	}
+}
+
+func TestSearchMotionFindsTranslation(t *testing.T) {
+	src := newTranslated(3, -2, 2)
+	prev := src.Frame(0).Clone()
+	cur := src.Frame(1).Clone()
+	// Interior macroblocks (away from the clamped borders) should recover
+	// the true motion (+3, −2) px: the vector points into the reference,
+	// so the best mv is (−3, +2) px = (−6, +4) half-pels.
+	mbW, mbH := 96/16, 80/16
+	correct := 0
+	total := 0
+	for mby := 1; mby < mbH-1; mby++ {
+		for mbx := 1; mbx < mbW-1; mbx++ {
+			mv, sad := searchMotion(cur.Y, prev.Y, 96, 80, mbx, mby, motionVector{})
+			zero := sad16(cur.Y, prev.Y, 96, 80, mbx, mby, motionVector{}, 1<<30)
+			if sad > zero {
+				t.Fatalf("MB (%d,%d): best SAD %d worse than zero-MV %d", mbx, mby, sad, zero)
+			}
+			total++
+			if mv == (motionVector{-6, 4}) {
+				correct++
+			}
+		}
+	}
+	// Flat regions may find equally good vectors elsewhere; most textured
+	// interior macroblocks must recover the true motion.
+	if correct*2 < total {
+		t.Errorf("true motion recovered in %d/%d interior macroblocks", correct, total)
+	}
+}
+
+func TestMCDecodesTranslatingVideo(t *testing.T) {
+	src := newTranslated(2, 1, 10)
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, src, 85, 10); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := DecodeAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		want := src.Frame(i)
+		if p := vframe.PSNR(want, f); p < 28 {
+			t.Errorf("frame %d PSNR %.1f dB with motion compensation", i, p)
+		}
+	}
+}
+
+// TestMCBeatsZeroMVOnPan is the raison d'être of motion compensation: a
+// panning scene compresses substantially better with motion search than
+// with zero-motion prediction at equal quality.
+func TestMCBeatsZeroMVOnPan(t *testing.T) {
+	src := newTranslated(4, 2, 12)
+	encodeWith := func(disable bool) int {
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf, StreamHeader{
+			W: 96, H: 80, FPSNum: 30, FPSDen: 1, Quality: 80, GOP: 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc.DisableMC = disable
+		for i := 0; i < src.Len(); i++ {
+			if _, err := enc.WriteFrame(src.Frame(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Len()
+	}
+	withMC := encodeWith(false)
+	withoutMC := encodeWith(true)
+	if float64(withMC) > 0.7*float64(withoutMC) {
+		t.Errorf("MC stream %d bytes vs zero-MV %d bytes; expected >30%% saving on a pan",
+			withMC, withoutMC)
+	}
+}
+
+func TestDisableMCStillRoundTrips(t *testing.T) {
+	src := newTranslated(1, 1, 6)
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, StreamHeader{
+		W: 96, H: 80, FPSNum: 30, FPSDen: 1, Quality: 80, GOP: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.DisableMC = true
+	for i := 0; i < src.Len(); i++ {
+		if _, err := enc.WriteFrame(src.Frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, err := DecodeAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		if p := vframe.PSNR(src.Frame(i), f); p < 26 {
+			t.Errorf("frame %d PSNR %.1f dB with MC disabled", i, p)
+		}
+	}
+}
+
+func TestClampMV(t *testing.T) {
+	if clampMV(motionVector{100, -100}) != (motionVector{mvRange, -mvRange}) {
+		t.Error("clampMV out of range")
+	}
+	if clampMV(motionVector{6, -8}) != (motionVector{6, -8}) {
+		t.Error("clampMV changed an in-range vector")
+	}
+}
+
+func TestChromaMV(t *testing.T) {
+	if chromaMV(motionVector{6, -4}) != (motionVector{3, -2}) {
+		t.Error("chromaMV halving wrong")
+	}
+	if chromaMV(motionVector{1, -1}) != (motionVector{0, 0}) {
+		t.Error("chromaMV rounding wrong")
+	}
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	src := newTranslated(3, 2, 2)
+	prev := src.Frame(0).Clone()
+	cur := src.Frame(1).Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		searchMotion(cur.Y, prev.Y, 96, 80, 2, 2, motionVector{})
+	}
+}
+
+func TestSampleHalfInterpolation(t *testing.T) {
+	// 2×2 plane: integer fetches exact, half positions average.
+	p := []uint8{10, 20, 30, 40}
+	cases := []struct{ hx, hy, want int }{
+		{0, 0, 10}, {2, 0, 20}, {0, 2, 30}, {2, 2, 40},
+		{1, 0, 15},               // horizontal half: (10+20)/2
+		{0, 1, 20},               // vertical half: (10+30)/2
+		{1, 1, 25},               // centre: (10+20+30+40)/4
+		{3, 3, 40}, {-1, -1, 10}, // clamped past the borders
+	}
+	for _, c := range cases {
+		if got := sampleHalf(p, 2, 2, c.hx, c.hy); got != c.want {
+			t.Errorf("sampleHalf(%d,%d) = %d, want %d", c.hx, c.hy, got, c.want)
+		}
+	}
+}
+
+// TestSearchMotionHalfPel: content shifted by exactly half a pixel is
+// matched by an odd (half-pel) vector with lower SAD than any integer one.
+func TestSearchMotionHalfPel(t *testing.T) {
+	synth := vframe.NewSynth(vframe.SynthConfig{W: 96, H: 80, NumFrames: 1, Seed: 6})
+	ref := synth.Frame(0).Clone()
+	cur := vframe.NewFrame(96, 80)
+	for y := 0; y < 80; y++ {
+		for x := 0; x < 96; x++ {
+			x1 := clampInt(x+1, 0, 95)
+			cur.Y[y*96+x] = uint8((int(ref.Y[y*96+x]) + int(ref.Y[y*96+x1]) + 1) / 2)
+		}
+	}
+	oddWins := 0
+	total := 0
+	for mby := 1; mby < 4; mby++ {
+		for mbx := 1; mbx < 5; mbx++ {
+			mv, sad := searchMotion(cur.Y, ref.Y, 96, 80, mbx, mby, motionVector{})
+			intSAD := sad16(cur.Y, ref.Y, 96, 80, mbx, mby, motionVector{0, 0}, 1<<30)
+			if s := sad16(cur.Y, ref.Y, 96, 80, mbx, mby, motionVector{2, 0}, 1<<30); s < intSAD {
+				intSAD = s
+			}
+			total++
+			if mv.dx%2 != 0 && sad < intSAD {
+				oddWins++
+			}
+		}
+	}
+	if oddWins*2 < total {
+		t.Errorf("half-pel vector won on only %d/%d macroblocks of half-shifted content",
+			oddWins, total)
+	}
+}

@@ -1,0 +1,381 @@
+package mpeg
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"vdsms/internal/vframe"
+)
+
+func synth(n int, seed int64) vframe.Source {
+	return vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: n, Seed: seed, FPS: 30})
+}
+
+func encode(t testing.TB, src vframe.Source, quality, gop int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, src, quality, gop); err != nil {
+		t.Fatalf("EncodeSource: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := StreamHeader{W: 352, H: 240, FPSNum: 30000, FPSDen: 1001, Quality: 75, GOP: 15}
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header round-trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	bad := []StreamHeader{
+		{W: 0, H: 48, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 15},
+		{W: 50, H: 48, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 15},
+		{W: 64, H: 48, FPSNum: 0, FPSDen: 1, Quality: 75, GOP: 15},
+		{W: 64, H: 48, FPSNum: 30, FPSDen: 1, Quality: 0, GOP: 15},
+		{W: 64, H: 48, FPSNum: 30, FPSDen: 1, Quality: 101, GOP: 15},
+		{W: 64, H: 48, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 0},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, h)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := []byte("NOTAVIDEOSTREAMXXXXXXXX")
+	if _, err := NewDecoder(bytes.NewReader(data)); err != ErrBadMagic {
+		t.Errorf("NewDecoder on garbage = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewPartialDecoder(bytes.NewReader(data)); err != ErrBadMagic {
+		t.Errorf("NewPartialDecoder on garbage = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestEncodeDecodeIntraQuality(t *testing.T) {
+	src := synth(5, 1)
+	data := encode(t, src, 90, 1)
+	frames, hdr, err := DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.GOP != 1 || len(frames) != 5 {
+		t.Fatalf("decoded %d frames, GOP %d", len(frames), hdr.GOP)
+	}
+	for i, f := range frames {
+		if p := vframe.PSNR(src.Frame(i), f); p < 30 {
+			t.Errorf("frame %d PSNR %.1f dB at quality 90, want >= 30", i, p)
+		}
+	}
+}
+
+func TestEncodeDecodeWithPFrames(t *testing.T) {
+	src := synth(20, 2)
+	data := encode(t, src, 85, 5)
+	frames, _, err := DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 20 {
+		t.Fatalf("decoded %d frames, want 20", len(frames))
+	}
+	for i, f := range frames {
+		if p := vframe.PSNR(src.Frame(i), f); p < 28 {
+			t.Errorf("frame %d PSNR %.1f dB, want >= 28 (no P-frame drift)", i, p)
+		}
+	}
+}
+
+func TestQualityMonotonic(t *testing.T) {
+	src := synth(3, 3)
+	lo := encode(t, src, 20, 1)
+	hi := encode(t, src, 95, 1)
+	if len(hi) <= len(lo) {
+		t.Errorf("quality 95 stream (%d bytes) not larger than quality 20 (%d bytes)",
+			len(hi), len(lo))
+	}
+	fl, _, _ := DecodeAll(bytes.NewReader(lo))
+	fh, _, _ := DecodeAll(bytes.NewReader(hi))
+	pl := vframe.PSNR(src.Frame(0), fl[0])
+	ph := vframe.PSNR(src.Frame(0), fh[0])
+	if ph <= pl {
+		t.Errorf("PSNR at quality 95 (%.1f) not above quality 20 (%.1f)", ph, pl)
+	}
+}
+
+func TestPFramesSmallerThanIFrames(t *testing.T) {
+	src := synth(10, 4)
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, StreamHeader{W: 64, H: 48, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iBytes, pBytes, pCount int
+	for i := 0; i < src.Len(); i++ {
+		info, err := enc.WriteFrame(src.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Key {
+			iBytes += info.Bytes
+		} else {
+			pBytes += info.Bytes
+			pCount++
+		}
+	}
+	if pCount != 9 {
+		t.Fatalf("pCount = %d", pCount)
+	}
+	if avgP := pBytes / pCount; avgP >= iBytes {
+		t.Errorf("average P frame (%d bytes) not smaller than I frame (%d bytes)", avgP, iBytes)
+	}
+}
+
+func TestFrameInfoSequence(t *testing.T) {
+	src := synth(7, 5)
+	data := encode(t, src, 75, 3)
+	dec, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		_, info, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Index != i {
+			t.Errorf("frame %d has Index %d", i, info.Index)
+		}
+		wantKey := i%3 == 0
+		if info.Key != wantKey {
+			t.Errorf("frame %d Key = %v, want %v", i, info.Key, wantKey)
+		}
+		if math.Abs(info.PTS-float64(i)/30) > 1e-12 {
+			t.Errorf("frame %d PTS = %g", i, info.PTS)
+		}
+	}
+	if _, _, err := dec.Next(); err != io.EOF {
+		t.Errorf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+func TestPartialDecoderDCMatchesBlockMeans(t *testing.T) {
+	src := synth(6, 6)
+	data := encode(t, src, 95, 3)
+	dcs, hdr, err := ReadAllDC(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dcs) != 2 { // frames 0 and 3 are I-frames
+		t.Fatalf("got %d DC frames, want 2", len(dcs))
+	}
+	if dcs[0].Info.Index != 0 || dcs[1].Info.Index != 3 {
+		t.Errorf("DC frame indexes %d, %d; want 0, 3", dcs[0].Info.Index, dcs[1].Info.Index)
+	}
+	bw, bh := hdr.W/8, hdr.H/8
+	for _, dcf := range dcs {
+		if dcf.BW != bw || dcf.BH != bh {
+			t.Fatalf("grid %dx%d, want %dx%d", dcf.BW, dcf.BH, bw, bh)
+		}
+		orig := src.Frame(dcf.Info.Index)
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				// DC = 8 × (mean − 128); quantisation at quality 95 keeps
+				// the error within a few units.
+				var sum float64
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						sum += float64(orig.Y[(by*8+y)*hdr.W+bx*8+x])
+					}
+				}
+				want := 8 * (sum/64 - 128)
+				got := dcf.DC[by*bw+bx]
+				if math.Abs(got-want) > 8 {
+					t.Fatalf("frame %d block (%d,%d): DC %.1f, want %.1f±8",
+						dcf.Info.Index, bx, by, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPartialMatchesFullDecodeDC(t *testing.T) {
+	src := synth(4, 7)
+	data := encode(t, src, 60, 2)
+	dcs, hdr, err := ReadAllDC(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dcf := range dcs {
+		full := frames[dcf.Info.Index]
+		for by := 0; by < dcf.BH; by++ {
+			for bx := 0; bx < dcf.BW; bx++ {
+				var sum float64
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						sum += float64(full.Y[(by*8+y)*hdr.W+bx*8+x])
+					}
+				}
+				fullDC := 8 * (sum/64 - 128)
+				got := dcf.DC[by*dcf.BW+bx]
+				// Full decode clamps pixels; allow small divergence.
+				if math.Abs(got-fullDC) > 12 {
+					t.Fatalf("frame %d block (%d,%d): partial DC %.1f vs full %.1f",
+						dcf.Info.Index, bx, by, got, fullDC)
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderRejectsLeadingPFrame(t *testing.T) {
+	src := synth(4, 8)
+	data := encode(t, src, 75, 2)
+	// Surgically remove the first (I) frame so the stream starts with a P.
+	r := bytes.NewReader(data)
+	hdr, _ := readHeader(r)
+	_ = hdr
+	typ, n, err := readFrameHeader(r, hdr)
+	if err != nil || typ != frameTypeI {
+		t.Fatalf("setup: %v %c", err, typ)
+	}
+	headerEnd := len(data) - r.Len()
+	bad := append([]byte{}, data[:headerSize]...)
+	bad = append(bad, data[headerEnd+n:]...)
+	dec, err := NewDecoder(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.Next(); err == nil {
+		t.Error("decoding stream starting with P frame succeeded, want error")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	src := synth(3, 9)
+	data := encode(t, src, 75, 1)
+	trunc := data[:len(data)-7]
+	dec, err := NewDecoder(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, _, lastErr = dec.Next()
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Error("truncated stream decoded cleanly to io.EOF, want payload error")
+	}
+}
+
+func TestPartialDecoderSkipsPCheaply(t *testing.T) {
+	src := synth(30, 10)
+	data := encode(t, src, 75, 30) // one I frame, 29 P frames
+	pd, err := NewPartialDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pd.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v, want io.EOF", err)
+	}
+	total := int64(len(data) - headerSize)
+	if pd.BytesRead >= total/2 {
+		t.Errorf("partial decoder buffered %d of %d payload bytes; P frames not skipped",
+			pd.BytesRead, total)
+	}
+}
+
+func TestFpsToRational(t *testing.T) {
+	for _, tc := range []struct {
+		fps  float64
+		n, d uint32
+	}{{29.97, 30000, 1001}, {25, 25, 1}, {30, 30, 1}, {12.5, 12500, 1000}} {
+		n, d := fpsToRational(tc.fps)
+		if n != tc.n || d != tc.d {
+			t.Errorf("fpsToRational(%g) = %d/%d, want %d/%d", tc.fps, n, d, tc.n, tc.d)
+		}
+	}
+}
+
+func TestEncoderRejectsWrongGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, StreamHeader{W: 64, H: 48, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := vframe.NewFrame(32, 32)
+	if _, err := enc.WriteFrame(wrong); err == nil {
+		t.Error("WriteFrame with wrong geometry succeeded")
+	}
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	src := vframe.NewSynth(vframe.SynthConfig{W: 176, H: 144, NumFrames: 64, Seed: 1})
+	frames := make([]*vframe.Frame, 64)
+	for i := range frames {
+		frames[i] = src.Frame(i).Clone()
+	}
+	enc, _ := NewEncoder(io.Discard, StreamHeader{W: 176, H: 144, FPSNum: 30, FPSDen: 1, Quality: 75, GOP: 15})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.WriteFrame(frames[i%64]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartialDecode(b *testing.B) {
+	src := vframe.NewSynth(vframe.SynthConfig{W: 176, H: 144, NumFrames: 60, Seed: 2})
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, src, 75, 15); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadAllDC(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullDecode(b *testing.B) {
+	src := vframe.NewSynth(vframe.SynthConfig{W: 176, H: 144, NumFrames: 60, Seed: 2})
+	var buf bytes.Buffer
+	if _, err := EncodeSource(&buf, src, 75, 15); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package mpeg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"vdsms/internal/bitio"
+)
+
+// DCFrame is the output of partial decoding: the dequantised luma DC
+// coefficients of one I-frame arranged as a BW×BH grid (one value per 8×8
+// block). A DC value equals 8 × (block mean − 128); the feature extractor
+// normalises per frame so the affine scaling is immaterial.
+type DCFrame struct {
+	Info   FrameInfo
+	BW, BH int
+	DC     []float64 // row-major, len BW*BH
+}
+
+// PartialDecoder extracts DC coefficients of I-frames without
+// reconstructing pixels. P frames are skipped at the cost of a buffered
+// read; within an I-frame only the luma entropy codes are parsed (DC deltas
+// applied, AC run-level pairs discarded) and the chroma payload is never
+// touched. This is the compressed-domain fast path of paper Section III.A.
+type PartialDecoder struct {
+	r       io.Reader
+	hdr     StreamHeader
+	coder   *blockCoder
+	count   int
+	payload []byte
+	// BitsParsed accumulates the number of payload bytes actually read into
+	// memory, for instrumentation.
+	BytesRead int64
+
+	// Retention (optional): raw payloads of the most recent frames, kept so
+	// matched stream segments can be archived as standalone clips — the
+	// paper's "only store the video sequences which are relevant to the
+	// queries". When retention is off, P frames are skipped without
+	// buffering.
+	retainN  int
+	retained []retainedFrame
+}
+
+// retainedFrame is one buffered compressed frame.
+type retainedFrame struct {
+	index int
+	typ   byte
+	data  []byte
+}
+
+// NewPartialDecoder reads the stream header from r.
+func NewPartialDecoder(r io.Reader) (*PartialDecoder, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PartialDecoder{r: r, hdr: hdr, coder: newBlockCoder(hdr.Quality)}, nil
+}
+
+// Header returns the stream parameters.
+func (d *PartialDecoder) Header() StreamHeader { return d.hdr }
+
+// SetRetention keeps the raw compressed payloads of the most recent n
+// frames (all types) so ClipFrom can reconstruct matched segments. n <= 0
+// disables retention. Retaining forces P-frame payloads to be buffered
+// instead of skipped.
+func (d *PartialDecoder) SetRetention(n int) {
+	d.retainN = n
+	if n <= 0 {
+		d.retained = nil
+	}
+}
+
+// retainFrame buffers one frame's payload under the retention policy.
+func (d *PartialDecoder) retainFrame(typ byte, data []byte) {
+	if d.retainN <= 0 {
+		return
+	}
+	d.retained = append(d.retained, retainedFrame{
+		index: d.count,
+		typ:   typ,
+		data:  append([]byte(nil), data...),
+	})
+	if excess := len(d.retained) - d.retainN; excess > 0 {
+		d.retained = d.retained[excess:]
+	}
+}
+
+// ClipFrom assembles a standalone MVC1 clip of the retained frames
+// covering stream frame index from (and everything retained after it). The
+// clip starts at the newest retained I-frame at or before from — or the
+// oldest retained I-frame if from precedes retention — so it is
+// independently decodable. Returns an error when nothing suitable is
+// retained.
+func (d *PartialDecoder) ClipFrom(from int) ([]byte, error) {
+	start := -1
+	for i, rf := range d.retained {
+		if rf.typ != frameTypeI {
+			continue
+		}
+		if rf.index <= from || start == -1 {
+			start = i
+		}
+		if rf.index > from {
+			break
+		}
+	}
+	if start == -1 {
+		return nil, fmt.Errorf("mpeg: no I frame retained at or before frame %d", from)
+	}
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, d.hdr); err != nil {
+		return nil, err
+	}
+	for _, rf := range d.retained[start:] {
+		if err := writeFrameHeader(&buf, rf.typ, len(rf.data)); err != nil {
+			return nil, err
+		}
+		if _, err := buf.Write(rf.data); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Next returns the DC grid of the next I-frame, skipping any intervening P
+// frames. io.EOF signals a clean end of stream. The returned DCFrame owns
+// its DC slice.
+func (d *PartialDecoder) Next() (*DCFrame, error) {
+	for {
+		typ, n, err := readFrameHeader(d.r, d.hdr)
+		if err != nil {
+			return nil, err // io.EOF passes through untouched
+		}
+		if typ == frameTypeP {
+			if d.retainN > 0 {
+				if err := d.buffer(n); err != nil {
+					return nil, fmt.Errorf("mpeg: buffering P frame %d: %w", d.count, err)
+				}
+				d.retainFrame(frameTypeP, d.payload)
+			} else if err := d.discard(n); err != nil {
+				return nil, fmt.Errorf("mpeg: skipping P frame %d: %w", d.count, err)
+			}
+			d.count++
+			continue
+		}
+		dcf, err := d.decodeIDC(n)
+		if err != nil {
+			return nil, err
+		}
+		d.retainFrame(frameTypeI, d.payload)
+		d.count++
+		return dcf, nil
+	}
+}
+
+// buffer reads n payload bytes into the scratch buffer.
+func (d *PartialDecoder) buffer(n int) error {
+	if cap(d.payload) < n {
+		d.payload = make([]byte, n)
+	}
+	d.payload = d.payload[:n]
+	_, err := io.ReadFull(d.r, d.payload)
+	return err
+}
+
+// decodeIDC parses the luma portion of an I-frame payload, collecting DC
+// levels and dequantising them.
+func (d *PartialDecoder) decodeIDC(n int) (*DCFrame, error) {
+	if cap(d.payload) < n {
+		d.payload = make([]byte, n)
+	}
+	d.payload = d.payload[:n]
+	if _, err := io.ReadFull(d.r, d.payload); err != nil {
+		return nil, fmt.Errorf("mpeg: reading I frame %d payload: %w", d.count, err)
+	}
+	d.BytesRead += int64(n)
+	br := bitio.NewReader(d.payload)
+	d.coder.resetPredictors()
+	bw, bh := d.hdr.W/8, d.hdr.H/8
+	dcf := &DCFrame{
+		Info: FrameInfo{
+			Index: d.count,
+			Key:   true,
+			PTS:   float64(d.count) / d.hdr.FPS(),
+			Bytes: n,
+		},
+		BW: bw,
+		BH: bh,
+		DC: make([]float64, bw*bh),
+	}
+	qdc := float64(d.coder.lumaQ[0])
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			level, err := d.coder.skipAC(br, planeY)
+			if err != nil {
+				return nil, fmt.Errorf("mpeg: partial decode frame %d block (%d,%d): %w",
+					d.count, bx, by, err)
+			}
+			dcf.DC[by*bw+bx] = float64(level) * qdc
+		}
+	}
+	// Chroma blocks remain unparsed: the payload is length-prefixed, so the
+	// next frame header is found by position, not by parsing.
+	return dcf, nil
+}
+
+// discard consumes n payload bytes without retaining them.
+func (d *PartialDecoder) discard(n int) error {
+	if s, ok := d.r.(io.Seeker); ok {
+		_, err := s.Seek(int64(n), io.SeekCurrent)
+		return err
+	}
+	m, err := io.CopyN(io.Discard, d.r, int64(n))
+	if err == io.EOF && m < int64(n) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadAllDC partially decodes an entire stream, returning one DCFrame per
+// I-frame.
+func ReadAllDC(r io.Reader) ([]*DCFrame, StreamHeader, error) {
+	dec, err := NewPartialDecoder(r)
+	if err != nil {
+		return nil, StreamHeader{}, err
+	}
+	var out []*DCFrame
+	for {
+		dcf, err := dec.Next()
+		if err == io.EOF {
+			return out, dec.Header(), nil
+		}
+		if err != nil {
+			return nil, StreamHeader{}, err
+		}
+		out = append(out, dcf)
+	}
+}

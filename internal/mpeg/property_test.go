@@ -1,0 +1,66 @@
+package mpeg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vdsms/internal/vframe"
+)
+
+// TestPropertyCodecRoundTrip: for random geometries, qualities and GOP
+// structures, every decoded frame must stay within a quality floor of its
+// source, frame counts and types must line up, and the partial decoder
+// must agree with the full decoder on key-frame placement.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		w := (rng.Intn(6) + 2) * 16 // 32..112
+		h := (rng.Intn(5) + 2) * 16 // 32..96
+		quality := rng.Intn(60) + 40
+		gop := rng.Intn(8) + 1
+		n := rng.Intn(12) + 4
+		src := vframe.NewSynth(vframe.SynthConfig{
+			W: w, H: h, FPS: 30, NumFrames: n, Seed: int64(trial + 1),
+		})
+		var buf bytes.Buffer
+		if _, err := EncodeSource(&buf, src, quality, gop); err != nil {
+			t.Fatalf("trial %d (%dx%d q%d gop%d): %v", trial, w, h, quality, gop, err)
+		}
+		frames, hdr, err := DecodeAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(frames) != n {
+			t.Fatalf("trial %d: %d frames out, %d in", trial, len(frames), n)
+		}
+		// Quality floor scales with the quantiser coarseness.
+		floor := 24.0
+		if quality >= 70 {
+			floor = 28
+		}
+		for i, f := range frames {
+			if p := vframe.PSNR(src.Frame(i), f); p < floor {
+				t.Errorf("trial %d frame %d: PSNR %.1f below floor %.1f (q=%d)",
+					trial, i, p, floor, quality)
+			}
+		}
+		dcs, _, err := ReadAllDC(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: partial decode: %v", trial, err)
+		}
+		wantKeys := (n + gop - 1) / gop
+		if len(dcs) != wantKeys {
+			t.Errorf("trial %d: %d key frames, want %d (n=%d gop=%d)",
+				trial, len(dcs), wantKeys, n, gop)
+		}
+		for _, d := range dcs {
+			if d.Info.Index%gop != 0 {
+				t.Errorf("trial %d: key frame at index %d with gop %d", trial, d.Info.Index, gop)
+			}
+		}
+		if hdr.W != w || hdr.H != h {
+			t.Errorf("trial %d: header geometry %dx%d", trial, hdr.W, hdr.H)
+		}
+	}
+}

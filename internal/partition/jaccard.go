@@ -1,0 +1,54 @@
+package partition
+
+// Jaccard computes the exact set similarity |A∩B| / |A∪B| of two id
+// sequences, deduplicating repeated ids (Definition 2 of the paper treats
+// video sequences as sets of cell ids). Two empty sequences have
+// similarity 0.
+func Jaccard(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	sa := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		sa[x] = struct{}{}
+	}
+	sb := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		sb[x] = struct{}{}
+	}
+	inter := 0
+	for x := range sa {
+		if _, ok := sb[x]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Contains reports the fraction of distinct ids of q present in p
+// (asymmetric containment |Q∩P| / |Q|), useful when a short query is sought
+// inside a longer candidate.
+func Contains(q, p []uint64) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	sq := make(map[uint64]struct{}, len(q))
+	for _, x := range q {
+		sq[x] = struct{}{}
+	}
+	sp := make(map[uint64]struct{}, len(p))
+	for _, x := range p {
+		sp[x] = struct{}{}
+	}
+	inter := 0
+	for x := range sq {
+		if _, ok := sp[x]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sq))
+}

@@ -1,0 +1,55 @@
+package partition
+
+// Ordinal-rank signatures: an alternative frame fingerprint in the spirit
+// of the ordinal measures used by Kim & Vasudev [9] and Hampapur et al.
+// [1], provided for the ablation study. Instead of quantising feature
+// *values* into grid/pyramid cells, the frame is identified by the rank
+// permutation of its d block averages — fully invariant to any monotone
+// per-frame intensity transform, but with only d! distinguishable
+// signatures (120 for d = 5), so collisions between different contents are
+// far more common than under grid–pyramid partitioning.
+
+// ordinalCells returns d! (the size of the ordinal id space).
+func ordinalCells(d int) uint64 {
+	out := uint64(1)
+	for i := 2; i <= d; i++ {
+		out *= uint64(i)
+	}
+	return out
+}
+
+// OrdinalCell maps a feature vector to the Lehmer code of its rank
+// permutation: id ∈ [0, d!). Ties break by dimension index, so the mapping
+// is total and deterministic.
+func OrdinalCell(f []float64) uint64 {
+	d := len(f)
+	// perm[i] = rank position of dimension i when sorting by value
+	// (stable): compute the permutation that sorts f ascending.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: d is tiny (3..7).
+	for i := 1; i < d; i++ {
+		j := i
+		for j > 0 && (f[order[j-1]] > f[order[j]] ||
+			(f[order[j-1]] == f[order[j]] && order[j-1] > order[j])) {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	// Lehmer code of the order permutation.
+	var id uint64
+	used := make([]bool, d)
+	for i := 0; i < d; i++ {
+		smaller := 0
+		for k := 0; k < order[i]; k++ {
+			if !used[k] {
+				smaller++
+			}
+		}
+		used[order[i]] = true
+		id = id*uint64(d-i) + uint64(smaller)
+	}
+	return id
+}

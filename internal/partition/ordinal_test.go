@@ -1,0 +1,123 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdinalCells(t *testing.T) {
+	for _, tc := range []struct {
+		d    int
+		want uint64
+	}{{1, 1}, {2, 2}, {3, 6}, {5, 120}, {7, 5040}} {
+		if got := ordinalCells(tc.d); got != tc.want {
+			t.Errorf("ordinalCells(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestOrdinalCellKnownPermutations(t *testing.T) {
+	// d=2: ascending (0,1) and descending (1,0) must map to distinct ids
+	// covering [0, 2).
+	a := OrdinalCell([]float64{0.1, 0.9})
+	b := OrdinalCell([]float64{0.9, 0.1})
+	if a == b || a >= 2 || b >= 2 {
+		t.Errorf("d=2 ordinal ids %d, %d", a, b)
+	}
+}
+
+func TestOrdinalCellBijective(t *testing.T) {
+	// All 120 rank permutations of 5 distinct values map to distinct ids.
+	vals := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	seen := make(map[uint64]bool)
+	var permute func(v []float64, k int)
+	permute = func(v []float64, k int) {
+		if k == len(v) {
+			id := OrdinalCell(v)
+			if id >= 120 {
+				t.Fatalf("id %d out of range for %v", id, v)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %d for %v", id, v)
+			}
+			seen[id] = true
+			return
+		}
+		for i := k; i < len(v); i++ {
+			v[k], v[i] = v[i], v[k]
+			permute(v, k+1)
+			v[k], v[i] = v[i], v[k]
+		}
+	}
+	permute(vals, 0)
+	if len(seen) != 120 {
+		t.Fatalf("%d distinct ids, want 120", len(seen))
+	}
+}
+
+func TestOrdinalMonotoneInvariance(t *testing.T) {
+	// The ordinal id is invariant under any strictly monotone transform of
+	// the feature values — its defining property.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		f := make([]float64, 5)
+		for i := range f {
+			f[i] = rng.Float64()
+		}
+		g := make([]float64, 5)
+		for i := range g {
+			g[i] = f[i]*f[i]*0.5 + 0.3*f[i] // strictly increasing on [0,1]
+		}
+		if OrdinalCell(f) != OrdinalCell(g) {
+			t.Fatalf("ordinal id changed under monotone transform: %v", f)
+		}
+	}
+}
+
+func TestOrdinalTieBreakDeterministic(t *testing.T) {
+	f := []float64{0.5, 0.5, 0.5}
+	if OrdinalCell(f) != OrdinalCell([]float64{0.5, 0.5, 0.5}) {
+		t.Error("ties nondeterministic")
+	}
+}
+
+func TestOrdinalScheme(t *testing.T) {
+	p, err := New(4, 5, Ordinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 120 {
+		t.Errorf("NumCells = %d", p.NumCells())
+	}
+	if p.Scheme.String() != "ordinal" {
+		t.Errorf("String = %q", p.Scheme)
+	}
+	rng := rand.New(rand.NewSource(2))
+	scratch := make([]float64, 5)
+	for trial := 0; trial < 200; trial++ {
+		f := make([]float64, 5)
+		for i := range f {
+			f[i] = rng.Float64()
+		}
+		id := p.Cell(f)
+		if id >= 120 {
+			t.Fatalf("cell %d out of range", id)
+		}
+		if p.CellInto(f, scratch) != id {
+			t.Fatal("CellInto != Cell for ordinal")
+		}
+	}
+}
+
+// Property: OrdinalCell is always in range and deterministic.
+func TestPropertyOrdinalRange(t *testing.T) {
+	f := func(a, b, c, d, e float64) bool {
+		v := []float64{frac(a), frac(b), frac(c), frac(d), frac(e)}
+		id := OrdinalCell(v)
+		return id < 120 && id == OrdinalCell(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

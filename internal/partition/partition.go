@@ -1,0 +1,179 @@
+// Package partition implements the paper's dimensionality reduction
+// (Section III.A, Figure 1): a d-dimensional normalised feature vector is
+// mapped to a single cell id by grid–pyramid partitioning. Each dimension
+// is sliced into u grid segments; every grid cell is further divided into
+// 2d pyramid sub-cells (Berchtold et al.'s pyramid technique), giving
+// 2d·uᵈ cells in total with id = 2d·Og(f) + Op(f).
+//
+// Pure grid and pure pyramid schemes are also provided for the ablation of
+// the paper's design rationale (grid-only suffers false negatives under
+// small per-dimension drift; pyramid-only has too few cells and suffers
+// false positives).
+package partition
+
+import "fmt"
+
+// Scheme selects the partitioning strategy.
+type Scheme int
+
+const (
+	// GridPyramid is the paper's scheme: grid cells refined by pyramids.
+	GridPyramid Scheme = iota
+	// Grid uses only the uᵈ grid cells.
+	Grid
+	// Pyramid uses only the 2d global pyramids.
+	Pyramid
+	// Ordinal identifies a frame by the rank permutation of its feature
+	// values (d! cells) — the ordinal-measure baseline of the ablation
+	// study; see OrdinalCell.
+	Ordinal
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case GridPyramid:
+		return "grid-pyramid"
+	case Grid:
+		return "grid"
+	case Pyramid:
+		return "pyramid"
+	case Ordinal:
+		return "ordinal"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Partitioner maps feature vectors in [0,1]^d to cell ids.
+type Partitioner struct {
+	U      int // grid slices per dimension
+	D      int // dimensionality
+	Scheme Scheme
+}
+
+// New builds a partitioner; u must be >= 1 and d >= 1.
+func New(u, d int, scheme Scheme) (Partitioner, error) {
+	if u < 1 {
+		return Partitioner{}, fmt.Errorf("partition: u=%d must be >= 1", u)
+	}
+	if d < 1 {
+		return Partitioner{}, fmt.Errorf("partition: d=%d must be >= 1", d)
+	}
+	// Cell ids must fit a uint64: 2d·u^d.
+	cells := 2 * float64(d)
+	for i := 0; i < d; i++ {
+		cells *= float64(u)
+		if cells > 1e18 {
+			return Partitioner{}, fmt.Errorf("partition: 2d·u^d overflows for u=%d d=%d", u, d)
+		}
+	}
+	return Partitioner{U: u, D: d, Scheme: scheme}, nil
+}
+
+// NumCells returns the size of the cell id space.
+func (p Partitioner) NumCells() uint64 {
+	grid := uint64(1)
+	for i := 0; i < p.D; i++ {
+		grid *= uint64(p.U)
+	}
+	switch p.Scheme {
+	case Grid:
+		return grid
+	case Pyramid:
+		return uint64(2 * p.D)
+	case Ordinal:
+		return ordinalCells(p.D)
+	default:
+		return uint64(2*p.D) * grid
+	}
+}
+
+// Cell maps a feature vector (components in [0,1]; values outside are
+// clamped) to its cell id. It panics if len(f) != d.
+func (p Partitioner) Cell(f []float64) uint64 {
+	if len(f) != p.D {
+		panic(fmt.Sprintf("partition: feature has %d dims, partitioner expects %d", len(f), p.D))
+	}
+	switch p.Scheme {
+	case Grid:
+		og, _ := p.gridAndLocal(f, nil)
+		return og
+	case Pyramid:
+		return uint64(pyramidOrder(f, p.D))
+	case Ordinal:
+		return OrdinalCell(f)
+	default:
+		local := make([]float64, p.D)
+		og, _ := p.gridAndLocal(f, local)
+		op := pyramidOrder(local, p.D)
+		return uint64(2*p.D)*og + uint64(op)
+	}
+}
+
+// CellInto is Cell with a caller-provided scratch buffer (len >= d) to avoid
+// per-call allocation on hot paths.
+func (p Partitioner) CellInto(f, scratch []float64) uint64 {
+	if p.Scheme != GridPyramid {
+		return p.Cell(f)
+	}
+	if len(f) != p.D {
+		panic(fmt.Sprintf("partition: feature has %d dims, partitioner expects %d", len(f), p.D))
+	}
+	og, _ := p.gridAndLocal(f, scratch[:p.D])
+	op := pyramidOrder(scratch[:p.D], p.D)
+	return uint64(2*p.D)*og + uint64(op)
+}
+
+// gridAndLocal computes the row-major grid order Og and, when local is
+// non-nil, fills it with the cell-local coordinates in [0,1).
+func (p Partitioner) gridAndLocal(f []float64, local []float64) (uint64, []float64) {
+	var og uint64
+	for i := 0; i < p.D; i++ {
+		v := f[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		scaled := v * float64(p.U)
+		si := int(scaled)
+		if si >= p.U {
+			si = p.U - 1
+		}
+		og = og*uint64(p.U) + uint64(si)
+		if local != nil {
+			l := scaled - float64(si)
+			if l < 0 {
+				l = 0
+			}
+			if l >= 1 {
+				l = 1 - 1e-12
+			}
+			local[i] = l
+		}
+	}
+	return og, local
+}
+
+// pyramidOrder computes Op for a point with per-dimension coordinates in
+// [0,1): jmax = argmax_j |v_j − 0.5| (ties broken by the smallest j), and
+// Op = jmax when v_jmax < 0.5, else jmax + d. This follows the pyramid
+// technique of Berchtold, Böhm and Kriegel cited by the paper.
+func pyramidOrder(v []float64, d int) int {
+	jmax, best := 0, -1.0
+	for j := 0; j < d; j++ {
+		dev := v[j] - 0.5
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > best {
+			best = dev
+			jmax = j
+		}
+	}
+	if v[jmax] < 0.5 {
+		return jmax
+	}
+	return jmax + d
+}

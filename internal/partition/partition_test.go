@@ -1,0 +1,236 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 5, GridPyramid); err != nil {
+		t.Errorf("valid partitioner rejected: %v", err)
+	}
+	if _, err := New(0, 5, Grid); err == nil {
+		t.Error("u=0 accepted")
+	}
+	if _, err := New(4, 0, Grid); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(1000, 10, GridPyramid); err == nil {
+		t.Error("overflowing cell space accepted")
+	}
+}
+
+func TestNumCells(t *testing.T) {
+	for _, tc := range []struct {
+		u, d   int
+		scheme Scheme
+		want   uint64
+	}{
+		{4, 5, GridPyramid, 10 * 1024}, // 2·5·4⁵
+		{4, 5, Grid, 1024},
+		{4, 5, Pyramid, 10},
+		{2, 3, GridPyramid, 48},
+	} {
+		p, err := New(tc.u, tc.d, tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.NumCells(); got != tc.want {
+			t.Errorf("NumCells(u=%d,d=%d,%v) = %d, want %d", tc.u, tc.d, tc.scheme, got, tc.want)
+		}
+	}
+}
+
+func TestCellInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, scheme := range []Scheme{GridPyramid, Grid, Pyramid} {
+		p, _ := New(4, 5, scheme)
+		for trial := 0; trial < 500; trial++ {
+			f := make([]float64, 5)
+			for i := range f {
+				f[i] = rng.Float64()
+			}
+			id := p.Cell(f)
+			if id >= p.NumCells() {
+				t.Fatalf("%v: cell %d >= NumCells %d for %v", scheme, id, p.NumCells(), f)
+			}
+		}
+	}
+}
+
+func TestCellBoundaryValues(t *testing.T) {
+	p, _ := New(4, 3, GridPyramid)
+	for _, f := range [][]float64{
+		{0, 0, 0}, {1, 1, 1}, {0.5, 0.5, 0.5}, {1, 0, 0.9999999},
+		{-0.1, 1.2, 0.5}, // out-of-range clamps
+	} {
+		if id := p.Cell(f); id >= p.NumCells() {
+			t.Errorf("boundary %v → cell %d out of range", f, id)
+		}
+	}
+}
+
+func TestGridOrderRowMajor(t *testing.T) {
+	p, _ := New(4, 2, Grid)
+	// Feature (0.1, 0.1) → slices (0,0) → id 0.
+	if id := p.Cell([]float64{0.1, 0.1}); id != 0 {
+		t.Errorf("cell(0.1,0.1) = %d, want 0", id)
+	}
+	// (0.9, 0.1) → slices (3, 0) → 3·4 + 0 = 12.
+	if id := p.Cell([]float64{0.9, 0.1}); id != 12 {
+		t.Errorf("cell(0.9,0.1) = %d, want 12", id)
+	}
+	// (0.1, 0.9) → slices (0, 3) → 3.
+	if id := p.Cell([]float64{0.1, 0.9}); id != 3 {
+		t.Errorf("cell(0.1,0.9) = %d, want 3", id)
+	}
+}
+
+func TestPyramidOrder(t *testing.T) {
+	p, _ := New(1, 2, Pyramid)
+	// Point (0.1, 0.5): dim 0 deviates most and is below centre → Op = 0.
+	if id := p.Cell([]float64{0.1, 0.5}); id != 0 {
+		t.Errorf("Op(0.1,0.5) = %d, want 0", id)
+	}
+	// Point (0.9, 0.5): dim 0 deviates most, above centre → Op = 0 + d = 2.
+	if id := p.Cell([]float64{0.9, 0.5}); id != 2 {
+		t.Errorf("Op(0.9,0.5) = %d, want 2", id)
+	}
+	// Point (0.5, 0.1): dim 1 below centre → Op = 1.
+	if id := p.Cell([]float64{0.5, 0.1}); id != 1 {
+		t.Errorf("Op(0.5,0.1) = %d, want 1", id)
+	}
+	// Point (0.5, 0.95): dim 1 above centre → Op = 3.
+	if id := p.Cell([]float64{0.5, 0.95}); id != 3 {
+		t.Errorf("Op(0.5,0.95) = %d, want 3", id)
+	}
+}
+
+func TestGridPyramidComposition(t *testing.T) {
+	p, _ := New(2, 2, GridPyramid)
+	// f = (0.25, 0.25): grid slices (0,0) → Og = 0. Local coords (0.5, 0.5):
+	// tie on deviation 0, jmax = 0, v >= 0.5 → Op = 0 + 2 = 2. id = 4·0+2 = 2.
+	if id := p.Cell([]float64{0.25, 0.25}); id != 2 {
+		t.Errorf("cell(0.25,0.25) = %d, want 2", id)
+	}
+	// f = (0.6, 0.1): slices (1, 0) → Og = 2. Locals (0.2, 0.2): both deviate
+	// −0.3, jmax = 0, below → Op = 0. id = 2·2·2 + 0 = 8.
+	if id := p.Cell([]float64{0.6, 0.1}); id != 8 {
+		t.Errorf("cell(0.6,0.1) = %d, want 8", id)
+	}
+}
+
+// The paper's rationale: small per-dimension perturbations that do not
+// change jmax keep the pyramid sub-cell stable, whereas grid ids flip when
+// any dimension crosses a slice boundary.
+func TestPyramidRobustToNonMaxPerturbation(t *testing.T) {
+	p, _ := New(1, 5, Pyramid)
+	f := []float64{0.95, 0.5, 0.45, 0.55, 0.5} // dim 0 dominates
+	base := p.Cell(f)
+	g := append([]float64(nil), f...)
+	g[2] = 0.55 // perturb a non-dominant dim
+	g[3] = 0.45
+	if p.Cell(g) != base {
+		t.Error("pyramid id changed under non-dominant perturbation")
+	}
+}
+
+func TestCellIntoMatchesCell(t *testing.T) {
+	p, _ := New(4, 5, GridPyramid)
+	rng := rand.New(rand.NewSource(2))
+	scratch := make([]float64, 5)
+	for trial := 0; trial < 200; trial++ {
+		f := make([]float64, 5)
+		for i := range f {
+			f[i] = rng.Float64()
+		}
+		if p.Cell(f) != p.CellInto(f, scratch) {
+			t.Fatalf("CellInto diverges from Cell on %v", f)
+		}
+	}
+}
+
+func TestCellPanicsOnWrongDim(t *testing.T) {
+	p, _ := New(4, 5, GridPyramid)
+	defer func() {
+		if recover() == nil {
+			t.Error("Cell with wrong dimensionality did not panic")
+		}
+	}()
+	p.Cell([]float64{0.5, 0.5})
+}
+
+// Property: the grid-pyramid id always decomposes into a valid (Og, Op)
+// pair, and nearby points in the same grid cell with the same dominant
+// deviation share a cell.
+func TestPropertyCellDecomposition(t *testing.T) {
+	p, _ := New(4, 3, GridPyramid)
+	f := func(a, b, c float64) bool {
+		v := []float64{frac(a), frac(b), frac(c)}
+		id := p.Cell(v)
+		op := id % uint64(2*p.D)
+		og := id / uint64(2*p.D)
+		return op < uint64(2*p.D) && og < 64 // 4³ grid cells
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	x -= float64(int64(x))
+	return x
+}
+
+func TestJaccard(t *testing.T) {
+	for _, tc := range []struct {
+		a, b []uint64
+		want float64
+	}{
+		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}, 1},
+		{[]uint64{1, 2, 3}, []uint64{4, 5, 6}, 0},
+		{[]uint64{1, 2, 3, 4}, []uint64{3, 4, 5, 6}, 1.0 / 3},
+		{[]uint64{1, 1, 2, 2}, []uint64{1, 2}, 1}, // duplicates collapse
+		{nil, nil, 0},
+		{[]uint64{1}, nil, 0},
+	} {
+		if got := Jaccard(tc.a, tc.b); got != tc.want {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	if got := Contains([]uint64{1, 2}, []uint64{1, 2, 3, 4}); got != 1 {
+		t.Errorf("Contains full = %g", got)
+	}
+	if got := Contains([]uint64{1, 2, 5, 6}, []uint64{1, 2, 3}); got != 0.5 {
+		t.Errorf("Contains half = %g", got)
+	}
+	if got := Contains(nil, []uint64{1}); got != 0 {
+		t.Errorf("Contains empty query = %g", got)
+	}
+}
+
+func TestJaccardReorderInvariance(t *testing.T) {
+	// Set similarity is invariant to sequence order — the core robustness
+	// property of Definition 2.
+	a := []uint64{5, 9, 2, 7, 4, 1}
+	b := []uint64{1, 2, 4, 5, 7, 9}
+	if got := Jaccard(a, b); got != 1 {
+		t.Errorf("reordered identical sets Jaccard = %g, want 1", got)
+	}
+}

@@ -1,0 +1,179 @@
+package qindex
+
+import (
+	"sort"
+
+	"vdsms/internal/bitsig"
+	"vdsms/internal/minhash"
+)
+
+// Result is one element of the related query list R_L: the bit signature of
+// a basic-window sketch against one query.
+type Result struct {
+	QID    int
+	Length int // query length in frames
+	Sig    *bitsig.Signature
+}
+
+// ProbeOutput is what a Prober returns for one basic window: the surviving
+// related-query list plus the set of queries that entered R_L but were
+// pruned by Lemma 2 (their prune cascades to candidate sequences that track
+// them).
+type ProbeOutput struct {
+	Related []Result
+	Pruned  map[int]bool
+	// Comparisons counts elementary value comparisons performed, the CPU
+	// proxy used by the cost experiments.
+	Comparisons int
+}
+
+// Prober produces the related-query list of one basic-window sketch. Both
+// the Hash-Query index and the linear scan (the "NoIndex" baseline of the
+// Fig. 9 experiment) implement it.
+type Prober interface {
+	Probe(sk minhash.Sketch, delta float64) ProbeOutput
+}
+
+// probeElem tracks one in-flight R_L element during the row sweep. The
+// query's identity is captured during the discovery up-walk (which passes
+// through row 0 anyway), and the Less count is maintained incrementally so
+// the Lemma 2 check is O(1) per row instead of a signature popcount.
+type probeElem struct {
+	col    int32 // current column of this query in the row being processed
+	qid    int
+	length int
+	less   int
+	sig    *bitsig.Signature
+}
+
+// Probe implements the ProbeIndex algorithm (paper Figure 5). For each row
+// it (1) advances every surviving R_L element via its down link and records
+// the relation of the window's hash value to the query's, (2) prunes
+// elements violating Lemma 2, and (3) binary-searches the row for values
+// equal to sk[i], walking new matches' up links to reconstruct their bits
+// for the earlier rows.
+func (x *Index) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
+	if len(sk) != x.k {
+		panic("qindex: probe sketch K mismatch")
+	}
+	out := ProbeOutput{Pruned: make(map[int]bool)}
+	// maxLess is the Lemma 2 bound: prune once less > K(1−δ).
+	maxLess := float64(x.k) * (1 - delta)
+	live := make([]probeElem, 0, 8)
+	// dead tracks the current-row columns of queries already pruned in this
+	// probe. Lemma 2 is monotone, so a pruned query can never recover;
+	// advancing its column each row (one pointer chase) prevents the equal
+	// search from repeatedly re-adding and re-up-walking it.
+	var dead []int32
+	// occ marks columns held by live or dead elements in the current row:
+	// occ[col] == i+1 means occupied in row i (stamping avoids per-row
+	// clearing).
+	occ := make([]int32, len(x.meta))
+
+	for i := 0; i < x.k; i++ {
+		row := x.rows[i]
+		v := sk[i]
+		stamp := int32(i + 1)
+
+		// (1) Advance existing elements and set their bit for row i.
+		kept := live[:0]
+		for di, col := range dead {
+			if i > 0 {
+				col = x.rows[i-1][col].down
+				dead[di] = col
+			}
+			occ[col] = stamp
+		}
+		for _, el := range live {
+			if i > 0 {
+				el.col = x.rows[i-1][el.col].down
+			}
+			t := row[el.col].value
+			rel := bitsig.Compare(v, t)
+			el.sig.Set(i, rel)
+			out.Comparisons++
+			if rel == bitsig.Less {
+				el.less++
+			}
+			// (2) Lemma 2 prune.
+			if float64(el.less) > maxLess {
+				out.Pruned[el.qid] = true
+				dead = append(dead, el.col)
+				occ[el.col] = stamp
+				continue
+			}
+			kept = append(kept, el)
+			occ[el.col] = stamp
+		}
+		live = kept
+
+		// (3) Find equal values not yet tracked.
+		lo := sort.Search(len(row), func(j int) bool { return row[j].value >= v })
+		for j := lo; j < len(row) && row[j].value == v; j++ {
+			out.Comparisons++
+			col := int32(j)
+			if occ[col] == stamp {
+				continue
+			}
+			el := probeElem{col: col, sig: bitsig.New(x.k)}
+			el.sig.Set(i, bitsig.Equal)
+			// Up-walk: reconstruct the relations for rows 0..i-1 and pick up
+			// the query's identity at row 0.
+			c := col
+			for r := i - 1; r >= 0; r-- {
+				c = x.rows[r+1][c].up
+				rel := bitsig.Compare(sk[r], x.rows[r][c].value)
+				el.sig.Set(r, rel)
+				out.Comparisons++
+				if rel == bitsig.Less {
+					el.less++
+				}
+			}
+			// After the walk c is the query's column at row 0 (and when
+			// i == 0 it never moved from col).
+			el.qid, el.length = x.meta[c].qid, x.meta[c].length
+			if float64(el.less) > maxLess {
+				out.Pruned[el.qid] = true
+				dead = append(dead, col)
+				occ[col] = stamp
+				continue
+			}
+			live = append(live, el)
+			occ[col] = stamp
+		}
+	}
+
+	out.Related = make([]Result, 0, len(live))
+	for _, el := range live {
+		delete(out.Pruned, el.qid) // survived after all: not pruned
+		out.Related = append(out.Related, Result{QID: el.qid, Length: el.length, Sig: el.sig})
+	}
+	return out
+}
+
+// Scan is the index-free Prober: every query sketch is compared against the
+// window sketch in full (the SketchNoIndex / BitNoIndex baseline). Queries
+// with no equal position are omitted from the result, matching the index's
+// notion of "related"; queries failing Lemma 2 are reported as pruned.
+type Scan struct {
+	Queries []Query
+}
+
+// Probe implements Prober by brute force.
+func (s *Scan) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
+	out := ProbeOutput{Pruned: make(map[int]bool)}
+	for _, q := range s.Queries {
+		sig := bitsig.FromSketches(sk, q.Sketch)
+		out.Comparisons += len(sk)
+		_, eq, _ := sig.Counts()
+		if eq == 0 {
+			continue
+		}
+		if sig.Prunable(delta) {
+			out.Pruned[q.ID] = true
+			continue
+		}
+		out.Related = append(out.Related, Result{QID: q.ID, Length: q.Length, Sig: sig})
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package server exposes continuous copy detection as an HTTP service —
+// the deployable face of the VDSMS (the paper built its techniques into
+// the PIPA media-management system; this is the equivalent service
+// surface, stdlib-only).
+//
+//	PUT    /queries/{id}   body: MVC1 clip     → subscribe a query
+//	DELETE /queries/{id}                       → unsubscribe
+//	GET    /queries                            → JSON list of ids
+//	POST   /streams/{name} body: MVC1 stream   → NDJSON matches, streamed
+//	GET    /stats                              → JSON service counters
+//
+// Every stream POST gets its own detection engine; all engines share one
+// query set and Hash-Query index, so a subscription covers every stream,
+// and concurrent stream uploads monitor in parallel.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vdsms"
+)
+
+// Server is the HTTP copy-detection service. Create with New, mount via
+// Handler.
+type Server struct {
+	root *vdsms.Detector // owns the shared query set; never monitors
+
+	mu      sync.Mutex // serialises subscription changes
+	streams atomic.Int64
+	matches atomic.Int64
+	frames  atomic.Int64
+}
+
+// New builds a server with the given detection configuration.
+func New(cfg vdsms.Config) (*Server, error) {
+	det, err := vdsms.NewDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{root: det}, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/queries/", s.handleQuery)
+	mux.HandleFunc("/streams/", s.handleStream)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// handleQueries lists subscribed query ids.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	n := s.root.NumQueries()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"queries": n})
+}
+
+// handleQuery subscribes (PUT) or unsubscribes (DELETE) one query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/queries/"))
+	if err != nil || id <= 0 {
+		http.Error(w, "query id must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		s.mu.Lock()
+		err := s.root.AddQuery(id, r.Body)
+		s.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"subscribed": id})
+	case http.MethodDelete:
+		s.mu.Lock()
+		err := s.root.RemoveQuery(id)
+		s.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"unsubscribed": id})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// matchEvent is one NDJSON line of a stream response.
+type matchEvent struct {
+	Query      int     `json:"query"`
+	DetectedAt float64 `json:"detectedAt"` // seconds of stream time
+	Start      float64 `json:"start"`
+	End        float64 `json:"end"`
+	Similarity float64 `json:"similarity"`
+}
+
+// streamSummary is the final NDJSON line of a stream response.
+type streamSummary struct {
+	Done    bool   `json:"done"`
+	Stream  string `json:"stream"`
+	Frames  int    `json:"frames"`
+	Windows int    `json:"windows"`
+	Matches int    `json:"matches"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleStream monitors one uploaded stream, emitting matches as NDJSON
+// while the body is consumed.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/streams/")
+	if name == "" {
+		http.Error(w, "stream name required", http.StatusBadRequest)
+		return
+	}
+	det, err := s.root.NewStream()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.streams.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Matches are written while the request body is still being consumed;
+	// HTTP/1.x needs explicit full-duplex for that. Errors (e.g. HTTP/2,
+	// where duplex is the default) are ignored.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	det.OnMatch = func(m vdsms.Match) {
+		s.matches.Add(1)
+		enc.Encode(matchEvent{
+			Query:      m.QueryID,
+			DetectedAt: m.DetectedAt.Seconds(),
+			Start:      m.Start.Seconds(),
+			End:        m.End.Seconds(),
+			Similarity: m.Similarity,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, merr := det.MonitorContext(r.Context(), r.Body)
+	// With full duplex the handler owns body consumption: drain whatever a
+	// failed or short monitor left behind, or the connection goroutine
+	// races on the half-read body after the handler returns.
+	io.Copy(io.Discard, r.Body)
+	st := det.Stats()
+	s.frames.Add(int64(st.Frames))
+	sum := streamSummary{
+		Done: true, Stream: name,
+		Frames: st.Frames, Windows: st.Windows, Matches: st.Matches,
+	}
+	if merr != nil {
+		sum.Error = merr.Error()
+	}
+	enc.Encode(sum)
+}
+
+// handleStats reports service-level counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	queries := s.root.NumQueries()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"queries":        queries,
+		"streamsServed":  s.streams.Load(),
+		"matchesEmitted": s.matches.Load(),
+		"framesDecoded":  s.frames.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing sensible left to do.
+		_ = fmt.Errorf("encode: %w", err)
+	}
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"vdsms"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := vdsms.DefaultConfig()
+	cfg.K = 400
+	cfg.Delta = 0.6
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func clip(t testing.TB, seed int64, seconds float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := vdsms.Synthesize(&buf, vdsms.VideoOptions{
+		Seconds: seconds, FPS: 2, W: 96, H: 80, Seed: seed, Quality: 80, GOP: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func do(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSubscribeAndList(t *testing.T) {
+	_, ts := testServer(t)
+	resp := do(t, http.MethodPut, ts.URL+"/queries/1", clip(t, 1, 16))
+	if resp.StatusCode != 200 {
+		t.Fatalf("PUT query: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = do(t, http.MethodGet, ts.URL+"/queries", nil)
+	var out map[string]int
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["queries"] != 1 {
+		t.Errorf("queries = %d", out["queries"])
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	_, ts := testServer(t)
+	// Garbage body.
+	resp := do(t, http.MethodPut, ts.URL+"/queries/1", []byte("not a video"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage clip: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad id.
+	resp = do(t, http.MethodPut, ts.URL+"/queries/zero", clip(t, 1, 8))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Delete unknown.
+	resp = do(t, http.MethodDelete, ts.URL+"/queries/9", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Duplicate subscribe.
+	do(t, http.MethodPut, ts.URL+"/queries/2", clip(t, 2, 8)).Body.Close()
+	resp = do(t, http.MethodPut, ts.URL+"/queries/2", clip(t, 2, 8))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate subscribe: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// streamAndParse uploads a stream and returns its match events and summary.
+func streamAndParse(t *testing.T, ts *httptest.Server, name string, stream []byte) ([]matchEvent, streamSummary) {
+	t.Helper()
+	resp := do(t, http.MethodPost, ts.URL+"/streams/"+name, stream)
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST stream: %d", resp.StatusCode)
+	}
+	var events []matchEvent
+	var sum streamSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"done"`) {
+			if err := json.Unmarshal([]byte(line), &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var ev matchEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events, sum
+}
+
+func TestStreamDetection(t *testing.T) {
+	_, ts := testServer(t)
+	query := clip(t, 5, 20)
+	do(t, http.MethodPut, ts.URL+"/queries/7", query).Body.Close()
+
+	var stream bytes.Buffer
+	err := vdsms.ComposeStream(&stream, 75, 1,
+		bytes.NewReader(clip(t, 100, 30)),
+		bytes.NewReader(query),
+		bytes.NewReader(clip(t, 101, 30)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, sum := streamAndParse(t, ts, "channel-1", stream.Bytes())
+	if len(events) == 0 {
+		t.Fatal("no matches streamed")
+	}
+	for _, ev := range events {
+		if ev.Query != 7 {
+			t.Errorf("match for query %d", ev.Query)
+		}
+		if ev.DetectedAt < 30 || ev.DetectedAt > 60 {
+			t.Errorf("match at %gs, copy is at 30-50s", ev.DetectedAt)
+		}
+		if ev.Similarity < 0.6 {
+			t.Errorf("similarity %g below δ", ev.Similarity)
+		}
+	}
+	if !sum.Done || sum.Matches != len(events) || sum.Frames != 160 {
+		t.Errorf("summary %+v", sum)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	_, ts := testServer(t)
+	queries := [][]byte{clip(t, 11, 16), clip(t, 12, 16), clip(t, 13, 16)}
+	for i, q := range queries {
+		do(t, http.MethodPut, fmt.Sprintf("%s/queries/%d", ts.URL, i+1), q).Body.Close()
+	}
+	var wg sync.WaitGroup
+	got := make([][]matchEvent, 3)
+	for c := 0; c < 3; c++ {
+		var stream bytes.Buffer
+		err := vdsms.ComposeStream(&stream, 75, 1,
+			bytes.NewReader(clip(t, int64(200+c), 20)),
+			bytes.NewReader(queries[c]),
+			bytes.NewReader(clip(t, int64(300+c), 20)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Bytes()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			events, _ := streamAndParse(t, ts, fmt.Sprintf("ch-%d", c), data)
+			got[c] = events
+		}(c)
+	}
+	wg.Wait()
+	for c, events := range got {
+		found := false
+		for _, ev := range events {
+			if ev.Query == c+1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stream %d missed query %d", c, c+1)
+		}
+	}
+}
+
+func TestStreamBadBody(t *testing.T) {
+	_, ts := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/queries/1", clip(t, 1, 8)).Body.Close()
+	_, sum := streamAndParse(t, ts, "bad", []byte("garbage stream bytes........"))
+	if sum.Error == "" {
+		t.Error("garbage stream produced no error in summary")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/queries/1", clip(t, 1, 12)).Body.Close()
+	streamAndParse(t, ts, "s1", clip(t, 400, 30))
+	resp := do(t, http.MethodGet, ts.URL+"/stats", nil)
+	defer resp.Body.Close()
+	var st map[string]float64
+	json.NewDecoder(resp.Body).Decode(&st)
+	if st["queries"] != 1 || st["streamsServed"] != 1 || st["framesDecoded"] != 60 {
+		t.Errorf("stats %v", st)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/queries"},
+		{http.MethodGet, "/streams/x"},
+		{http.MethodPost, "/stats"},
+		{http.MethodPatch, "/queries/1"},
+	} {
+		resp := do(t, tc.method, ts.URL+tc.path, nil)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %d", tc.method, tc.path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,61 @@
+package vframe
+
+import (
+	"image"
+	"image/color"
+)
+
+// ToImage converts a frame to an image.Image (BT.601 YCbCr→RGB via the
+// standard library's YCbCr model), for visual inspection and PNG export.
+func ToImage(f *Frame) image.Image {
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			cy := f.Y[y*f.W+x]
+			cb := f.Cb[(y/2)*(f.W/2)+x/2]
+			cr := f.Cr[(y/2)*(f.W/2)+x/2]
+			r, g, b := color.YCbCrToRGB(cy, cb, cr)
+			i := img.PixOffset(x, y)
+			img.Pix[i+0] = r
+			img.Pix[i+1] = g
+			img.Pix[i+2] = b
+			img.Pix[i+3] = 255
+		}
+	}
+	return img
+}
+
+// FromImage converts an image to a frame (dimensions must be positive
+// multiples of 16; the image is sampled at those dimensions with edge
+// clamping if it is smaller). Chroma is averaged over 2×2 luma sites.
+func FromImage(img image.Image, w, h int) *Frame {
+	f := NewFrame(w, h)
+	b := img.Bounds()
+	at := func(x, y int) (uint8, uint8, uint8) {
+		px := b.Min.X + clamp(x, b.Dx()-1)
+		py := b.Min.Y + clamp(y, b.Dy()-1)
+		r, g, bl, _ := img.At(px, py).RGBA()
+		return color.RGBToYCbCr(uint8(r>>8), uint8(g>>8), uint8(bl>>8))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cy, _, _ := at(x, y)
+			f.Y[y*w+x] = cy
+		}
+	}
+	for y := 0; y < h/2; y++ {
+		for x := 0; x < w/2; x++ {
+			var sb, sr int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					_, cb, cr := at(x*2+dx, y*2+dy)
+					sb += int(cb)
+					sr += int(cr)
+				}
+			}
+			f.Cb[y*w/2+x] = uint8(sb / 4)
+			f.Cr[y*w/2+x] = uint8(sr / 4)
+		}
+	}
+	return f
+}

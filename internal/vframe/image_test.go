@@ -1,0 +1,27 @@
+package vframe
+
+import (
+	"image"
+	"testing"
+)
+
+func TestToImageFromImageRoundTrip(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 2, Seed: 3})
+	orig := s.Frame(1).Clone()
+	img := ToImage(orig)
+	if img.Bounds() != image.Rect(0, 0, 64, 48) {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+	back := FromImage(img, 64, 48)
+	if p := PSNR(orig, back); p < 35 {
+		t.Errorf("YCbCr→RGB→YCbCr round trip PSNR %.1f dB", p)
+	}
+}
+
+func TestFromImageSmallerSourceClamps(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 10, 10))
+	f := FromImage(img, 32, 32) // must not panic; clamps edges
+	if f.W != 32 || f.H != 32 {
+		t.Fatal("geometry wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package vframe
+
+import "fmt"
+
+// Source is a finite, random-access sequence of frames at a fixed rate.
+// Implementations generate frames lazily and deterministically so that long
+// streams never need to be materialised in memory, and so that temporal
+// edits (reordering, resampling) compose as index arithmetic.
+type Source interface {
+	// Len returns the number of frames.
+	Len() int
+	// FPS returns the nominal frame rate.
+	FPS() float64
+	// Frame returns frame i (0-based). Implementations may return a shared
+	// buffer that is invalidated by the next call; callers that retain a
+	// frame must Clone it.
+	Frame(i int) *Frame
+}
+
+// Duration returns the length of s in seconds.
+func Duration(s Source) float64 { return float64(s.Len()) / s.FPS() }
+
+// sliceSource serves pre-materialised frames.
+type sliceSource struct {
+	frames []*Frame
+	fps    float64
+}
+
+// FromFrames wraps a slice of frames as a Source.
+func FromFrames(frames []*Frame, fps float64) Source {
+	return &sliceSource{frames: frames, fps: fps}
+}
+
+func (s *sliceSource) Len() int           { return len(s.frames) }
+func (s *sliceSource) FPS() float64       { return s.fps }
+func (s *sliceSource) Frame(i int) *Frame { return s.frames[i] }
+
+// Materialise evaluates every frame of src into memory. Intended for short
+// clips (queries); do not call on long streams.
+func Materialise(src Source) Source {
+	frames := make([]*Frame, src.Len())
+	for i := range frames {
+		frames[i] = src.Frame(i).Clone()
+	}
+	return FromFrames(frames, src.FPS())
+}
+
+// clipSource exposes a contiguous window [off, off+n) of a parent source.
+type clipSource struct {
+	parent Source
+	off, n int
+}
+
+// Clip returns the subsequence of src covering frames [off, off+n).
+func Clip(src Source, off, n int) Source {
+	if off < 0 || n < 0 || off+n > src.Len() {
+		panic(fmt.Sprintf("vframe: Clip [%d,%d) out of range 0..%d", off, off+n, src.Len()))
+	}
+	return &clipSource{parent: src, off: off, n: n}
+}
+
+func (c *clipSource) Len() int           { return c.n }
+func (c *clipSource) FPS() float64       { return c.parent.FPS() }
+func (c *clipSource) Frame(i int) *Frame { return c.parent.Frame(c.off + i) }
+
+// concatSource chains several sources of equal FPS end to end.
+type concatSource struct {
+	parts  []Source
+	starts []int // prefix sums of part lengths
+	total  int
+	fps    float64
+}
+
+// Concat joins the given sources into one. All parts must share a frame
+// rate; resample first if they do not.
+func Concat(parts ...Source) Source {
+	if len(parts) == 0 {
+		panic("vframe: Concat of zero sources")
+	}
+	fps := parts[0].FPS()
+	c := &concatSource{parts: parts, fps: fps}
+	for _, p := range parts {
+		if p.FPS() != fps {
+			panic(fmt.Sprintf("vframe: Concat FPS mismatch %g vs %g", p.FPS(), fps))
+		}
+		c.starts = append(c.starts, c.total)
+		c.total += p.Len()
+	}
+	return c
+}
+
+func (c *concatSource) Len() int     { return c.total }
+func (c *concatSource) FPS() float64 { return c.fps }
+
+func (c *concatSource) Frame(i int) *Frame {
+	if i < 0 || i >= c.total {
+		panic(fmt.Sprintf("vframe: Concat frame %d out of range 0..%d", i, c.total))
+	}
+	// Binary search the part containing frame i.
+	lo, hi := 0, len(c.parts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.starts[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return c.parts[lo].Frame(i - c.starts[lo])
+}
+
+// mapSource applies a per-frame transform lazily.
+type mapSource struct {
+	parent Source
+	fn     func(i int, f *Frame) *Frame
+}
+
+// Map returns a Source whose frame i is fn(i, src.Frame(i)). fn may mutate
+// and return its argument or return a new frame.
+func Map(src Source, fn func(i int, f *Frame) *Frame) Source {
+	return &mapSource{parent: src, fn: fn}
+}
+
+func (m *mapSource) Len() int           { return m.parent.Len() }
+func (m *mapSource) FPS() float64       { return m.parent.FPS() }
+func (m *mapSource) Frame(i int) *Frame { return m.fn(i, m.parent.Frame(i)) }

@@ -1,0 +1,262 @@
+package vframe
+
+import "math"
+
+// SynthConfig parameterises a synthetic video.
+type SynthConfig struct {
+	W, H      int     // frame dimensions, multiples of 16
+	FPS       float64 // frame rate
+	Seed      int64   // content identity: distinct seeds → distinct videos
+	NumFrames int     // total length
+	// MinShotSec/MaxShotSec bound the duration of one shot. Zero values
+	// default to 2 and 6 seconds.
+	MinShotSec, MaxShotSec float64
+}
+
+func (c *SynthConfig) defaults() {
+	if c.W == 0 {
+		c.W = 176
+	}
+	if c.H == 0 {
+		c.H = 144
+	}
+	if c.FPS == 0 {
+		c.FPS = 30
+	}
+	if c.MinShotSec == 0 {
+		c.MinShotSec = 2
+	}
+	if c.MaxShotSec == 0 {
+		c.MaxShotSec = 6
+	}
+}
+
+// knotGrid is the side length of the per-shot luma mosaic: a shot's
+// background is a bilinear interpolation over (knotGrid+1)² luma knots,
+// each oscillating slowly. The mosaic gives frames the property real
+// footage has and the compressed-domain fingerprint relies on: spatial
+// regions with large, stable luma contrasts that evolve coherently in time.
+const knotGrid = 4
+
+// shot holds the visual parameters of one contiguous scene.
+type shot struct {
+	start, n int // frame range [start, start+n)
+	// Mosaic knots: base level, oscillation amplitude, angular velocity
+	// (radians per frame) and phase, row-major (knotGrid+1)².
+	knotBase, knotAmp, knotW, knotPhi [(knotGrid + 1) * (knotGrid + 1)]float64
+	// Chroma tint.
+	cb, cr float64
+	// Moving blobs.
+	blobs []blob
+	// Per-shot texture seed.
+	texSeed uint64
+}
+
+type blob struct {
+	cx, cy   float64 // initial centre (fraction of frame)
+	vx, vy   float64 // velocity (fraction of frame per frame)
+	radius   float64 // fraction of min dimension
+	strength float64 // luma delta
+}
+
+// Synth is a deterministic synthetic video: Frame(i) always returns the
+// same picture for the same (config, i). It implements Source.
+type Synth struct {
+	cfg   SynthConfig
+	shots []shot
+	buf   *Frame // reused output buffer
+}
+
+// NewSynth builds a synthetic video from cfg. NumFrames must be positive.
+func NewSynth(cfg SynthConfig) *Synth {
+	cfg.defaults()
+	if cfg.NumFrames <= 0 {
+		panic("vframe: SynthConfig.NumFrames must be positive")
+	}
+	s := &Synth{cfg: cfg, buf: NewFrame(cfg.W, cfg.H)}
+	s.planShots()
+	return s
+}
+
+// splitmix64 is the per-stream PRNG primitive: a single step of SplitMix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashf maps arbitrary integer tuples to a float in [0,1).
+func hashf(vals ...uint64) float64 {
+	h := uint64(0x2545F4914F6CDD1D)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (s *Synth) planShots() {
+	seed := uint64(s.cfg.Seed)
+	frame := 0
+	// Shot boundaries are planned in seconds and only then rounded to
+	// frames, so the same seed yields time-aligned shots at every frame
+	// rate (the key-frame-level pipeline must see the same scenes as the
+	// full-rate pipeline).
+	startSec := 0.0
+	for idx := 0; frame < s.cfg.NumFrames; idx++ {
+		key := splitmix64(seed ^ uint64(idx)*0x9E3779B97F4A7C15)
+		dur := s.cfg.MinShotSec + hashf(key, 1)*(s.cfg.MaxShotSec-s.cfg.MinShotSec)
+		endSec := startSec + dur
+		n := int(endSec*s.cfg.FPS+0.5) - frame
+		if n < 1 {
+			n = 1
+		}
+		if frame+n > s.cfg.NumFrames {
+			n = s.cfg.NumFrames - frame
+		}
+		startSec = endSec
+		// Temporal rates are specified per second and divided by FPS so the
+		// same visual speed results whether the video is generated at full
+		// rate or at key-frame rate only. Knot lumas span [60, 180] so that
+		// with blobs, texture and a ±20 photometric attack frames stay
+		// clear of saturation (clamping would break the min–max
+		// normalisation invariance the fingerprint relies on).
+		sh := shot{
+			start:   frame,
+			n:       n,
+			cb:      96 + hashf(key, 6)*64,
+			cr:      96 + hashf(key, 7)*64,
+			texSeed: splitmix64(key ^ 0xABCD),
+		}
+		for ki := range sh.knotBase {
+			kk := splitmix64(key ^ uint64(ki+101)*0xBEEF7)
+			sh.knotBase[ki] = 60 + hashf(kk, 1)*120
+			sh.knotAmp[ki] = 5 + hashf(kk, 2)*10
+			sh.knotW[ki] = (0.2 + hashf(kk, 3)*0.6) / s.cfg.FPS
+			sh.knotPhi[ki] = hashf(kk, 4) * 6.28318
+		}
+		nb := 1 + int(hashf(key, 8)*3)
+		for b := 0; b < nb; b++ {
+			bk := splitmix64(key ^ uint64(b+1)*0x1234567)
+			sh.blobs = append(sh.blobs, blob{
+				cx:       hashf(bk, 1),
+				cy:       hashf(bk, 2),
+				vx:       (hashf(bk, 3) - 0.5) * 0.3 / s.cfg.FPS,
+				vy:       (hashf(bk, 4) - 0.5) * 0.3 / s.cfg.FPS,
+				radius:   0.08 + hashf(bk, 5)*0.15,
+				strength: (hashf(bk, 6) - 0.5) * 60,
+			})
+		}
+		s.shots = append(s.shots, sh)
+		frame += n
+	}
+}
+
+func (s *Synth) Len() int     { return s.cfg.NumFrames }
+func (s *Synth) FPS() float64 { return s.cfg.FPS }
+
+// Frame renders frame i into an internal buffer shared across calls.
+func (s *Synth) Frame(i int) *Frame {
+	if i < 0 || i >= s.cfg.NumFrames {
+		panic("vframe: Synth frame index out of range")
+	}
+	sh := s.shotFor(i)
+	t := float64(i - sh.start)
+	f := s.buf
+	w, h := f.W, f.H
+
+	// Luma: animated mosaic (bilinear over oscillating knots) + texture +
+	// blobs. Evaluate the knot levels once per frame.
+	var knots [(knotGrid + 1) * (knotGrid + 1)]float64
+	for ki := range knots {
+		knots[ki] = sh.knotBase[ki] + sh.knotAmp[ki]*math.Sin(sh.knotW[ki]*t+sh.knotPhi[ki])
+	}
+	for y := 0; y < h; y++ {
+		gy := float64(y) / float64(h) * knotGrid
+		ky := int(gy)
+		if ky >= knotGrid {
+			ky = knotGrid - 1
+		}
+		fy := gy - float64(ky)
+		for x := 0; x < w; x++ {
+			gx := float64(x) / float64(w) * knotGrid
+			kx := int(gx)
+			if kx >= knotGrid {
+				kx = knotGrid - 1
+			}
+			fx := gx - float64(kx)
+			row := ky * (knotGrid + 1)
+			top := knots[row+kx] + (knots[row+kx+1]-knots[row+kx])*fx
+			bot := knots[row+knotGrid+1+kx] + (knots[row+knotGrid+1+kx+1]-knots[row+knotGrid+1+kx])*fx
+			v := top + (bot-top)*fy
+			// Static per-shot texture at 4×4 granularity keeps spatial
+			// detail without per-pixel hashing cost dominating.
+			v += (hashf(sh.texSeed, uint64(x/4), uint64(y/4)) - 0.5) * 16
+			f.Y[y*w+x] = clampU8(v)
+		}
+	}
+	minDim := float64(w)
+	if h < w {
+		minDim = float64(h)
+	}
+	for _, b := range sh.blobs {
+		cx := math.Mod(b.cx+b.vx*t, 1)
+		cy := math.Mod(b.cy+b.vy*t, 1)
+		if cx < 0 {
+			cx++
+		}
+		if cy < 0 {
+			cy++
+		}
+		px, py := cx*float64(w), cy*float64(h)
+		r := b.radius * minDim
+		x0, x1 := int(px-r)-1, int(px+r)+1
+		y0, y1 := int(py-r)-1, int(py+r)+1
+		for y := max(0, y0); y <= min(h-1, y1); y++ {
+			for x := max(0, x0); x <= min(w-1, x1); x++ {
+				dx, dy := float64(x)-px, float64(y)-py
+				d2 := dx*dx + dy*dy
+				if d2 < r*r {
+					fade := 1 - d2/(r*r)
+					idx := y*w + x
+					f.Y[idx] = clampU8(float64(f.Y[idx]) + b.strength*fade)
+				}
+			}
+		}
+	}
+
+	// Chroma: flat per-shot tint with a slow temporal wobble (per-second
+	// rate, FPS-independent).
+	cb := clampU8(sh.cb + 6*math.Sin(t*1.5/s.cfg.FPS))
+	cr := clampU8(sh.cr + 6*math.Cos(t*1.2/s.cfg.FPS))
+	for i := range f.Cb {
+		f.Cb[i] = cb
+		f.Cr[i] = cr
+	}
+	return f
+}
+
+func (s *Synth) shotFor(i int) *shot {
+	lo, hi := 0, len(s.shots)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.shots[mid].start <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return &s.shots[lo]
+}
+
+// NumShots reports how many shots the video was planned into.
+func (s *Synth) NumShots() int { return len(s.shots) }
+
+// ShotBoundaries returns the start frame of each shot, in order.
+func (s *Synth) ShotBoundaries() []int {
+	out := make([]int, len(s.shots))
+	for i, sh := range s.shots {
+		out[i] = sh.start
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package vframe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameDimensions(t *testing.T) {
+	f := NewFrame(176, 144)
+	if len(f.Y) != 176*144 {
+		t.Errorf("Y plane size %d", len(f.Y))
+	}
+	if len(f.Cb) != 88*72 || len(f.Cr) != 88*72 {
+		t.Errorf("chroma plane sizes %d, %d", len(f.Cb), len(f.Cr))
+	}
+}
+
+func TestNewFramePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 16}, {16, 0}, {17, 16}, {16, 20}, {-16, 16}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewFrame(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFrame(16, 16)
+	f.Y[0] = 100
+	g := f.Clone()
+	g.Y[0] = 50
+	if f.Y[0] != 100 {
+		t.Error("Clone shares luma storage")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 5, Seed: 1})
+	a := s.Frame(2).Clone()
+	b := s.Frame(2)
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Errorf("PSNR of identical frames = %g, want +Inf", PSNR(a, b))
+	}
+}
+
+func TestPSNRDegrades(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 5, Seed: 1})
+	a := s.Frame(0).Clone()
+	small := a.Clone()
+	for i := range small.Y {
+		small.Y[i] = uint8(int(small.Y[i])/2 + 64) // mild distortion
+	}
+	big := a.Clone()
+	for i := range big.Y {
+		big.Y[i] = 255 - big.Y[i] // severe distortion
+	}
+	pSmall, pBig := PSNR(a, small), PSNR(a, big)
+	if pSmall <= pBig {
+		t.Errorf("PSNR(small distortion)=%g should exceed PSNR(big)=%g", pSmall, pBig)
+	}
+}
+
+func TestResizeRoundTripQuality(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 176, H: 144, NumFrames: 3, Seed: 7})
+	orig := s.Frame(1).Clone()
+	down := Resize(orig, 96, 80)
+	back := Resize(down, 176, 144)
+	if p := PSNR(orig, back); p < 18 {
+		t.Errorf("resize round-trip PSNR = %.1f dB, want >= 18", p)
+	}
+}
+
+func TestResizeConstantFrame(t *testing.T) {
+	f := NewFrame(32, 32)
+	for i := range f.Y {
+		f.Y[i] = 137
+	}
+	g := Resize(f, 64, 48)
+	for i, v := range g.Y {
+		if v != 137 {
+			t.Fatalf("resized constant frame has Y[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	cfg := SynthConfig{W: 64, H: 48, NumFrames: 50, Seed: 42}
+	a, b := NewSynth(cfg), NewSynth(cfg)
+	for _, i := range []int{0, 10, 25, 49} {
+		fa := a.Frame(i).Clone()
+		fb := b.Frame(i)
+		if !math.IsInf(PSNR(fa, fb), 1) {
+			t.Fatalf("frame %d differs across identical Synth instances", i)
+		}
+	}
+	// Random access must match sequential access.
+	f25 := a.Frame(25).Clone()
+	a.Frame(0)
+	if !math.IsInf(PSNR(f25, a.Frame(25)), 1) {
+		t.Error("random access changed frame content")
+	}
+}
+
+func TestSynthSeedsDiffer(t *testing.T) {
+	a := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 10, Seed: 1})
+	b := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 10, Seed: 2})
+	fa := a.Frame(0).Clone()
+	if p := PSNR(fa, b.Frame(0)); p > 30 {
+		t.Errorf("different seeds produced near-identical frames (PSNR %.1f)", p)
+	}
+}
+
+func TestSynthTemporalCoherence(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 64, H: 48, NumFrames: 100, Seed: 3})
+	// Adjacent frames within a shot should be much closer than frames from
+	// different seeds.
+	f0 := s.Frame(1).Clone()
+	f1 := s.Frame(2)
+	if p := PSNR(f0, f1); p < 25 {
+		t.Errorf("adjacent frames PSNR = %.1f dB, want >= 25 (temporal coherence)", p)
+	}
+}
+
+func TestSynthShotPlanCoversVideo(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 500, Seed: 9, FPS: 30})
+	bounds := s.ShotBoundaries()
+	if bounds[0] != 0 {
+		t.Errorf("first shot starts at %d", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("shot boundaries not increasing: %v", bounds)
+		}
+	}
+	if s.NumShots() < 2 {
+		t.Errorf("500 frames at 30fps planned into %d shots, want >= 2", s.NumShots())
+	}
+}
+
+func TestClip(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 100, Seed: 4})
+	c := Clip(s, 20, 30)
+	if c.Len() != 30 {
+		t.Fatalf("Clip.Len = %d", c.Len())
+	}
+	want := s.Frame(25).Clone()
+	if !math.IsInf(PSNR(want, c.Frame(5)), 1) {
+		t.Error("Clip frame 5 != parent frame 25")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Clip did not panic")
+			}
+		}()
+		Clip(s, 90, 20)
+	}()
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 10, Seed: 1})
+	b := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 15, Seed: 2})
+	c := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 5, Seed: 3})
+	cc := Concat(a, b, c)
+	if cc.Len() != 30 {
+		t.Fatalf("Concat.Len = %d", cc.Len())
+	}
+	checks := []struct {
+		idx    int
+		src    Source
+		srcIdx int
+	}{
+		{0, a, 0}, {9, a, 9}, {10, b, 0}, {24, b, 14}, {25, c, 0}, {29, c, 4},
+	}
+	for _, ck := range checks {
+		got := cc.Frame(ck.idx).Clone()
+		if !math.IsInf(PSNR(got, ck.src.Frame(ck.srcIdx)), 1) {
+			t.Errorf("Concat frame %d mismatched", ck.idx)
+		}
+	}
+}
+
+func TestConcatFPSMismatchPanics(t *testing.T) {
+	a := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 5, Seed: 1, FPS: 30})
+	b := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 5, Seed: 2, FPS: 25})
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat with FPS mismatch did not panic")
+		}
+	}()
+	Concat(a, b)
+}
+
+func TestMap(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 5, Seed: 1})
+	m := Map(s, func(i int, f *Frame) *Frame {
+		g := f.Clone()
+		for j := range g.Y {
+			g.Y[j] = 255 - g.Y[j]
+		}
+		return g
+	})
+	orig := s.Frame(2).Clone()
+	inv := m.Frame(2)
+	for j := range orig.Y {
+		if inv.Y[j] != 255-orig.Y[j] {
+			t.Fatal("Map transform not applied")
+		}
+	}
+}
+
+func TestMaterialise(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 8, Seed: 5})
+	want := s.Frame(3).Clone()
+	m := Materialise(s)
+	if m.Len() != 8 || m.FPS() != s.FPS() {
+		t.Fatal("Materialise changed shape")
+	}
+	if !math.IsInf(PSNR(want, m.Frame(3)), 1) {
+		t.Error("Materialise frame content differs")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	s := NewSynth(SynthConfig{W: 32, H: 32, NumFrames: 60, Seed: 1, FPS: 30})
+	if d := Duration(s); d != 2 {
+		t.Errorf("Duration = %g, want 2", d)
+	}
+}
+
+// Property: hashf always lands in [0,1) and is deterministic.
+func TestPropertyHashf(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		v := hashf(a, b, c)
+		return v >= 0 && v < 1 && v == hashf(a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSynthFrame(b *testing.B) {
+	s := NewSynth(SynthConfig{W: 176, H: 144, NumFrames: 1000, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Frame(i % 1000)
+	}
+}

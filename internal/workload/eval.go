@@ -1,0 +1,45 @@
+package workload
+
+// Position is a reported detection: query QueryID matched at stream key
+// frame P (the paper records "the position where a sequence matches").
+type Position struct {
+	QueryID int
+	P       int
+}
+
+// Eval holds precision/recall per the paper's Section VI rule: a reported
+// position p for query Q is correct iff Q.begin + w ≤ p ≤ Q.end + w for
+// some ground-truth insertion of Q, where w is the basic window size.
+type Eval struct {
+	Precision, Recall  float64
+	Correct, Reported  int
+	Detected, Inserted int
+}
+
+// Evaluate scores reported positions against ground truth with basic
+// window size w (in key frames).
+func Evaluate(reports []Position, truth []Insertion, w int) Eval {
+	byQuery := make(map[int][]Insertion)
+	for _, ins := range truth {
+		byQuery[ins.QueryID] = append(byQuery[ins.QueryID], ins)
+	}
+	detected := make(map[Insertion]bool)
+	ev := Eval{Reported: len(reports), Inserted: len(truth)}
+	for _, r := range reports {
+		for _, ins := range byQuery[r.QueryID] {
+			if ins.Begin+w <= r.P && r.P <= ins.End+w {
+				ev.Correct++
+				detected[ins] = true
+				break
+			}
+		}
+	}
+	ev.Detected = len(detected)
+	if ev.Reported > 0 {
+		ev.Precision = float64(ev.Correct) / float64(ev.Reported)
+	}
+	if ev.Inserted > 0 {
+		ev.Recall = float64(ev.Detected) / float64(ev.Inserted)
+	}
+	return ev
+}

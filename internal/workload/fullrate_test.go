@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"vdsms/internal/feature"
+	"vdsms/internal/mpeg"
+	"vdsms/internal/partition"
+	"vdsms/internal/vframe"
+)
+
+// TestKeyFrameShortcutMatchesFullRatePipeline validates the workload's
+// central shortcut: generating and encoding only key frames (KeyFPS, GOP 1)
+// yields the same fingerprint stream as encoding the full-rate video
+// (30 fps, GOP 15) and partially decoding its I-frames. The synthetic
+// generator specifies all temporal rates per second, so frame content is a
+// function of time, not frame index — this test pins that contract.
+func TestKeyFrameShortcutMatchesFullRatePipeline(t *testing.T) {
+	const (
+		seconds = 20
+		keyFPS  = 2.0
+		fullFPS = 30.0
+		gop     = 15 // fullFPS/gop == keyFPS
+	)
+	mkSynth := func(fps float64) vframe.Source {
+		return vframe.NewSynth(vframe.SynthConfig{
+			W: 96, H: 80, FPS: fps, NumFrames: int(seconds * fps), Seed: 31,
+		})
+	}
+
+	ex, err := feature.NewExtractor(feature.Config{D: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.New(4, 5, partition.GridPyramid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(src vframe.Source, gop int) []uint64 {
+		var buf bytes.Buffer
+		if _, err := mpeg.EncodeSource(&buf, src, 78, gop); err != nil {
+			t.Fatal(err)
+		}
+		dcs, _, err := mpeg.ReadAllDC(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, len(dcs))
+		for i, d := range dcs {
+			out[i] = pt.Cell(ex.Vector(d))
+		}
+		return out
+	}
+
+	fast := ids(mkSynth(keyFPS), 1)    // the experiments' shortcut
+	full := ids(mkSynth(fullFPS), gop) // the real broadcast pipeline
+
+	if len(fast) != len(full) {
+		t.Fatalf("key-frame counts differ: shortcut %d, full rate %d", len(fast), len(full))
+	}
+	// P-frame quantisation drift can nudge an occasional id across a cell
+	// boundary; the sequences must agree almost everywhere.
+	same := 0
+	for i := range fast {
+		if fast[i] == full[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(fast)); frac < 0.85 {
+		t.Errorf("only %.0f%% of key-frame ids agree between shortcut and full-rate pipeline",
+			frac*100)
+	}
+	// And as sets (what detection actually uses), they must be nearly
+	// identical.
+	if j := partition.Jaccard(fast, full); j < 0.8 {
+		t.Errorf("id-set Jaccard between pipelines = %.2f", j)
+	}
+}

@@ -1,0 +1,377 @@
+// Package workload manufactures the evaluation workloads of paper Section
+// VI and scores detector output against ground truth.
+//
+// The paper inserts 200 real short videos (30–300 s) into 12 h of base film
+// footage, producing VS1 (verbatim inserts) and VS2 (inserts that are
+// photometrically edited, re-encoded NTSC→PAL and segment-reordered). With
+// no real videos available offline, shorts and base footage are synthesised
+// (internal/vframe) and pushed through the real codec pipeline: encode →
+// partial DC decode → feature extraction → grid-pyramid cell ids. Scale is
+// configurable; the defaults keep every experiment laptop-fast.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"vdsms/internal/edit"
+	"vdsms/internal/feature"
+	"vdsms/internal/mpeg"
+	"vdsms/internal/partition"
+	"vdsms/internal/vframe"
+)
+
+// Config parameterises a workload build. All durations are in seconds of
+// key-frame time: the pipeline generates KeyFPS key frames per second and
+// encodes them intra-only, which is equivalent to a full-rate stream whose
+// GOP yields that key-frame rate (the partial decoder ignores P frames).
+type Config struct {
+	// NumShorts is the number of short videos, which double as the
+	// continuous queries (paper: 200).
+	NumShorts int
+	// ShortMinSec/ShortMaxSec bound short-video duration (paper: 30–300 s;
+	// scaled default 10–40 s).
+	ShortMinSec, ShortMaxSec float64
+	// GapMinSec/GapMaxSec bound the base-footage gap between inserts.
+	GapMinSec, GapMaxSec float64
+	// KeyFPS is the key-frame rate of the monitored stream (paper: NTSC
+	// 29.97 fps with a ~15-frame GOP ≈ 2 key frames/s; default 2).
+	KeyFPS float64
+	// W, H are the stream dimensions (multiples of 16).
+	W, H int
+	// Quality is the encoder quality for both stream and queries.
+	Quality int
+	// Seed drives all content and edit randomness.
+	Seed int64
+	// Edited selects VS2: shorts are attacked (photometric edits, noise,
+	// resolution/frame-rate change, segment reordering) before insertion.
+	Edited bool
+	// ReorderSegSec is the segment length for VS2 reordering (default 5 s).
+	ReorderSegSec float64
+}
+
+func (c *Config) defaults() {
+	if c.NumShorts == 0 {
+		c.NumShorts = 20
+	}
+	if c.ShortMinSec == 0 {
+		c.ShortMinSec = 10
+	}
+	if c.ShortMaxSec == 0 {
+		c.ShortMaxSec = 40
+	}
+	if c.GapMinSec == 0 {
+		c.GapMinSec = 10
+	}
+	if c.GapMaxSec == 0 {
+		c.GapMaxSec = 30
+	}
+	if c.KeyFPS == 0 {
+		c.KeyFPS = 2
+	}
+	if c.W == 0 {
+		c.W = 96
+	}
+	if c.H == 0 {
+		c.H = 80
+	}
+	if c.Quality == 0 {
+		c.Quality = 75
+	}
+	if c.ReorderSegSec == 0 {
+		c.ReorderSegSec = 5
+	}
+}
+
+// Insertion is one ground-truth copy: query QueryID occupies stream key
+// frames [Begin, End).
+type Insertion struct {
+	QueryID    int
+	Begin, End int
+}
+
+// QueryVideo pairs a query id with its original (unedited) video.
+type QueryVideo struct {
+	ID    int
+	Video vframe.Source
+}
+
+// Workload is a built evaluation scenario.
+type Workload struct {
+	Cfg     Config
+	Stream  vframe.Source // the monitored stream (lazy)
+	Truth   []Insertion
+	Queries []QueryVideo
+
+	streamFeats  [][]float64 // cached pipeline output
+	streamPooled [][]float64
+	queryPooled  map[int][][]float64
+}
+
+// Build constructs the workload deterministically from cfg.
+func Build(cfg Config) *Workload {
+	cfg.defaults()
+	w := &Workload{Cfg: cfg}
+	rnd := newRand(cfg.Seed)
+
+	// Short videos: one Synth per query id with its own seed.
+	shorts := make([]vframe.Source, cfg.NumShorts)
+	for i := 0; i < cfg.NumShorts; i++ {
+		durSec := cfg.ShortMinSec + rnd.float()*(cfg.ShortMaxSec-cfg.ShortMinSec)
+		n := int(durSec * cfg.KeyFPS)
+		if n < 2 {
+			n = 2
+		}
+		shorts[i] = vframe.NewSynth(vframe.SynthConfig{
+			W: cfg.W, H: cfg.H, FPS: cfg.KeyFPS, NumFrames: n,
+			Seed: cfg.Seed*1000003 + int64(i) + 1,
+		})
+		w.Queries = append(w.Queries, QueryVideo{ID: i + 1, Video: shorts[i]})
+	}
+
+	// Base footage: one long Synth sliced into gaps.
+	totalGapSec := 0.0
+	gapSecs := make([]float64, cfg.NumShorts+1)
+	for i := range gapSecs {
+		gapSecs[i] = cfg.GapMinSec + rnd.float()*(cfg.GapMaxSec-cfg.GapMinSec)
+		totalGapSec += gapSecs[i]
+	}
+	base := vframe.NewSynth(vframe.SynthConfig{
+		W: cfg.W, H: cfg.H, FPS: cfg.KeyFPS,
+		NumFrames: int(totalGapSec*cfg.KeyFPS) + cfg.NumShorts + 16,
+		Seed:      cfg.Seed * 7_777_777,
+	})
+
+	// Assemble: gap, insert, gap, insert, ..., gap. Insert order is a
+	// random permutation of the shorts.
+	order := rnd.perm(cfg.NumShorts)
+	var parts []vframe.Source
+	baseOff := 0
+	streamOff := 0
+	takeGap := func(sec float64) {
+		n := int(sec * cfg.KeyFPS)
+		if n < 1 {
+			n = 1
+		}
+		parts = append(parts, vframe.Clip(base, baseOff, n))
+		baseOff += n
+		streamOff += n
+	}
+	for i, qi := range order {
+		takeGap(gapSecs[i])
+		ins := shorts[qi]
+		if cfg.Edited {
+			ins = w.attack(ins, qi)
+		}
+		parts = append(parts, ins)
+		w.Truth = append(w.Truth, Insertion{
+			QueryID: qi + 1,
+			Begin:   streamOff,
+			End:     streamOff + ins.Len(),
+		})
+		streamOff += ins.Len()
+	}
+	takeGap(gapSecs[cfg.NumShorts])
+	w.Stream = vframe.Concat(parts...)
+	return w
+}
+
+// attack applies the VS2 editing pipeline to one short and re-conforms it
+// to the stream geometry and rate (the broadcast re-encode).
+func (w *Workload) attack(src vframe.Source, idx int) vframe.Source {
+	cfg := w.Cfg
+	// PAL-like intermediate: different resolution and frame rate.
+	palW, palH := cfg.W+16, cfg.H+16
+	palFPS := cfg.KeyFPS * 25.0 / 29.97
+	segFrames := int(cfg.ReorderSegSec * palFPS)
+	if segFrames < 1 {
+		segFrames = 1
+	}
+	a := edit.PaperAttack(cfg.Seed*31+int64(idx), palW, palH, palFPS, segFrames)
+	out := a.Apply(src)
+	// Conform back to the monitored stream's geometry and rate.
+	out = edit.Rescale(out, cfg.W, cfg.H)
+	if out.FPS() != cfg.KeyFPS {
+		out = edit.Resample(out, cfg.KeyFPS)
+	}
+	return out
+}
+
+// Pipeline bundles the feature extractor and partitioner applied to decoded
+// DC frames.
+type Pipeline struct {
+	Extractor   *feature.Extractor
+	Partitioner partition.Partitioner
+}
+
+// NewPipeline builds the paper-default pipeline for the given u and d.
+func NewPipeline(u, d int, scheme partition.Scheme) (*Pipeline, error) {
+	ex, err := feature.NewExtractor(feature.Config{D: d})
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.New(u, d, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Extractor: ex, Partitioner: p}, nil
+}
+
+// Features runs the real compressed-domain pipeline over a video: encode
+// intra-only, partially decode the DC grids, extract one normalised feature
+// vector per key frame.
+func Features(src vframe.Source, quality int, ex *feature.Extractor) ([][]float64, error) {
+	var buf bytes.Buffer
+	if _, err := mpeg.EncodeSource(&buf, src, quality, 1); err != nil {
+		return nil, fmt.Errorf("workload: encoding: %w", err)
+	}
+	dcs, _, err := mpeg.ReadAllDC(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("workload: partial decode: %w", err)
+	}
+	feats := make([][]float64, len(dcs))
+	for i, dcf := range dcs {
+		feats[i] = ex.Vector(dcf)
+	}
+	return feats, nil
+}
+
+// CellIDs maps feature vectors through the partitioner.
+func (p *Pipeline) CellIDs(feats [][]float64) []uint64 {
+	out := make([]uint64, len(feats))
+	scratch := make([]float64, p.Partitioner.D)
+	for i, f := range feats {
+		out[i] = p.Partitioner.CellInto(f, scratch)
+	}
+	return out
+}
+
+// StreamFeatures returns (building and caching on first use) the feature
+// vectors of every stream key frame. The cache is keyed to the extractor's
+// defaults — experiments that vary d must use distinct Workload values or
+// call Features directly.
+func (wl *Workload) StreamFeatures(ex *feature.Extractor) ([][]float64, error) {
+	if wl.streamFeats != nil {
+		return wl.streamFeats, nil
+	}
+	feats, err := Features(wl.Stream, wl.Cfg.Quality, ex)
+	if err != nil {
+		return nil, err
+	}
+	wl.streamFeats = feats
+	return feats, nil
+}
+
+// InvalidateCache drops the cached stream features (use when switching
+// extractors on a shared workload).
+func (wl *Workload) InvalidateCache() { wl.streamFeats = nil }
+
+// QueryFeatures computes the per-query feature sequences (original,
+// unedited videos — the subscribed continuous queries).
+func (wl *Workload) QueryFeatures(ex *feature.Extractor) (map[int][][]float64, error) {
+	out := make(map[int][][]float64, len(wl.Queries))
+	for _, q := range wl.Queries {
+		feats, err := Features(q.Video, wl.Cfg.Quality, ex)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", q.ID, err)
+		}
+		out[q.ID] = feats
+	}
+	return out, nil
+}
+
+// PooledFeatures runs the codec pipeline over a video and returns the raw
+// 3×3 pooled DC block averages per key frame (unnormalised). Parameter
+// sweeps cache these and derive (u, d)-specific vectors via
+// feature.Extractor.FromPooled without re-running the codec.
+func PooledFeatures(src vframe.Source, quality int) ([][]float64, error) {
+	ex, err := feature.NewExtractor(feature.Config{GridW: 3, GridH: 3, D: 9})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := mpeg.EncodeSource(&buf, src, quality, 1); err != nil {
+		return nil, fmt.Errorf("workload: encoding: %w", err)
+	}
+	dcs, _, err := mpeg.ReadAllDC(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("workload: partial decode: %w", err)
+	}
+	out := make([][]float64, len(dcs))
+	for i, dcf := range dcs {
+		out[i] = ex.Pool(dcf)
+	}
+	return out, nil
+}
+
+// StreamPooled returns (cached) raw pooled features of every stream key
+// frame.
+func (wl *Workload) StreamPooled() ([][]float64, error) {
+	if wl.streamPooled != nil {
+		return wl.streamPooled, nil
+	}
+	p, err := PooledFeatures(wl.Stream, wl.Cfg.Quality)
+	if err != nil {
+		return nil, err
+	}
+	wl.streamPooled = p
+	return p, nil
+}
+
+// QueryPooled returns (cached) raw pooled features per query id.
+func (wl *Workload) QueryPooled() (map[int][][]float64, error) {
+	if wl.queryPooled != nil {
+		return wl.queryPooled, nil
+	}
+	out := make(map[int][][]float64, len(wl.Queries))
+	for _, q := range wl.Queries {
+		p, err := PooledFeatures(q.Video, wl.Cfg.Quality)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", q.ID, err)
+		}
+		out[q.ID] = p
+	}
+	wl.queryPooled = out
+	return out, nil
+}
+
+// rand is a tiny deterministic PRNG (SplitMix64) so workloads are stable
+// across Go releases.
+type randState struct{ s uint64 }
+
+func newRand(seed int64) *randState { return &randState{s: uint64(seed) ^ 0x9E3779B97F4A7C15} }
+
+func (r *randState) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *randState) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *randState) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *randState) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// KeyWindowFrames converts a basic-window duration in seconds to key
+// frames under cfg's key-frame rate, minimum 1.
+func (c Config) KeyWindowFrames(sec float64) int {
+	n := int(math.Round(sec * c.KeyFPS))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

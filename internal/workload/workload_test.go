@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"testing"
+
+	"vdsms/internal/core"
+	"vdsms/internal/partition"
+)
+
+// smallCfg keeps end-to-end tests fast: 6 shorts of 8-16 s at 2 key fps.
+func smallCfg(edited bool) Config {
+	return Config{
+		NumShorts: 6, ShortMinSec: 8, ShortMaxSec: 16,
+		GapMinSec: 6, GapMaxSec: 12,
+		KeyFPS: 2, W: 96, H: 80, Quality: 80, Seed: 42, Edited: edited,
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(smallCfg(false))
+	b := Build(smallCfg(false))
+	if a.Stream.Len() != b.Stream.Len() || len(a.Truth) != len(b.Truth) {
+		t.Fatal("workload not deterministic")
+	}
+	for i := range a.Truth {
+		if a.Truth[i] != b.Truth[i] {
+			t.Fatalf("truth %d differs: %+v vs %+v", i, a.Truth[i], b.Truth[i])
+		}
+	}
+}
+
+func TestTruthIntervalsConsistent(t *testing.T) {
+	for _, edited := range []bool{false, true} {
+		w := Build(smallCfg(edited))
+		if len(w.Truth) != 6 {
+			t.Fatalf("edited=%v: %d insertions, want 6", edited, len(w.Truth))
+		}
+		seen := map[int]bool{}
+		last := 0
+		for _, ins := range w.Truth {
+			if ins.Begin < last || ins.End <= ins.Begin || ins.End > w.Stream.Len() {
+				t.Fatalf("edited=%v: bad interval %+v (stream %d)", edited, ins, w.Stream.Len())
+			}
+			if seen[ins.QueryID] {
+				t.Fatalf("query %d inserted twice", ins.QueryID)
+			}
+			seen[ins.QueryID] = true
+			last = ins.End
+		}
+	}
+}
+
+func TestInsertedContentMatchesQueryVS1(t *testing.T) {
+	w := Build(smallCfg(false))
+	ins := w.Truth[0]
+	var q QueryVideo
+	for _, qq := range w.Queries {
+		if qq.ID == ins.QueryID {
+			q = qq
+		}
+	}
+	// VS1 inserts verbatim: stream frames inside the interval equal the
+	// query frames.
+	sf := w.Stream.Frame(ins.Begin).Clone()
+	qf := q.Video.Frame(0)
+	for i := range sf.Y {
+		if sf.Y[i] != qf.Y[i] {
+			t.Fatal("VS1 insertion is not verbatim")
+		}
+	}
+}
+
+func TestEditedStreamDiffers(t *testing.T) {
+	w := Build(smallCfg(true))
+	ins := w.Truth[0]
+	var q QueryVideo
+	for _, qq := range w.Queries {
+		if qq.ID == ins.QueryID {
+			q = qq
+		}
+	}
+	sf := w.Stream.Frame(ins.Begin).Clone()
+	qf := q.Video.Frame(0)
+	same := true
+	for i := range sf.Y {
+		if sf.Y[i] != qf.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("VS2 insertion identical to original — attack not applied")
+	}
+	// Duration approximately preserved by the edit round trip.
+	insLen := ins.End - ins.Begin
+	if ratio := float64(insLen) / float64(q.Video.Len()); ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("edited copy length ratio %.2f", ratio)
+	}
+}
+
+func TestPipelineFeatures(t *testing.T) {
+	w := Build(smallCfg(false))
+	pl, err := NewPipeline(4, 5, partition.GridPyramid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := w.StreamFeatures(pl.Extractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != w.Stream.Len() {
+		t.Fatalf("%d feature vectors for %d key frames", len(feats), w.Stream.Len())
+	}
+	// Cache hit returns the same slice.
+	again, _ := w.StreamFeatures(pl.Extractor)
+	if &again[0] != &feats[0] {
+		t.Error("StreamFeatures did not cache")
+	}
+	ids := pl.CellIDs(feats)
+	if len(ids) != len(feats) {
+		t.Fatal("CellIDs length mismatch")
+	}
+	for _, id := range ids {
+		if id >= pl.Partitioner.NumCells() {
+			t.Fatalf("cell id %d out of range", id)
+		}
+	}
+}
+
+func TestEvaluateRule(t *testing.T) {
+	truth := []Insertion{{QueryID: 1, Begin: 100, End: 160}, {QueryID: 2, Begin: 300, End: 340}}
+	w := 10
+	ev := Evaluate([]Position{
+		{1, 115}, // correct: within [110, 170]
+		{1, 50},  // wrong: before window
+		{2, 350}, // correct: boundary End+w
+		{2, 351}, // wrong: just past
+		{3, 120}, // wrong: unknown query
+	}, truth, w)
+	if ev.Correct != 2 || ev.Reported != 5 {
+		t.Fatalf("Correct=%d Reported=%d", ev.Correct, ev.Reported)
+	}
+	if ev.Precision != 0.4 {
+		t.Errorf("Precision = %g", ev.Precision)
+	}
+	if ev.Detected != 2 || ev.Recall != 1 {
+		t.Errorf("Detected=%d Recall=%g", ev.Detected, ev.Recall)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(nil, nil, 5)
+	if ev.Precision != 0 || ev.Recall != 0 {
+		t.Error("empty evaluation not zero")
+	}
+}
+
+// runDetection wires the full stack: workload → pipeline → engine → eval.
+func runDetection(t *testing.T, wl *Workload, delta float64, k int) Eval {
+	t.Helper()
+	pl, err := NewPipeline(4, 5, partition.GridPyramid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFrames := wl.Cfg.KeyWindowFrames(5)
+	cfg := core.Config{
+		K: k, Seed: 1, Delta: delta, Lambda: 2, WindowFrames: wFrames,
+		Order: core.Sequential, Method: core.Bit, UseIndex: true,
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := wl.QueryFeatures(pl.Extractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid, feats := range qf {
+		if err := eng.AddQuery(qid, pl.CellIDs(feats)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feats, err := wl.StreamFeatures(pl.Extractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range pl.CellIDs(feats) {
+		eng.PushFrame(id)
+	}
+	eng.Flush()
+	var reports []Position
+	for _, m := range eng.Matches {
+		reports = append(reports, Position{QueryID: m.QueryID, P: m.DetectedAt})
+	}
+	return Evaluate(reports, wl.Truth, wFrames)
+}
+
+// TestEndToEndVS1 is the system smoke test: verbatim copies must be found
+// with high precision and recall.
+func TestEndToEndVS1(t *testing.T) {
+	wl := Build(smallCfg(false))
+	ev := runDetection(t, wl, 0.6, 400)
+	if ev.Recall < 0.99 {
+		t.Errorf("VS1 recall %.2f (detected %d/%d)", ev.Recall, ev.Detected, ev.Inserted)
+	}
+	if ev.Precision < 0.8 {
+		t.Errorf("VS1 precision %.2f (%d/%d correct)", ev.Precision, ev.Correct, ev.Reported)
+	}
+}
+
+// TestEndToEndVS2 exercises the edited, reordered stream: recall may drop
+// but the system must still find most copies.
+func TestEndToEndVS2(t *testing.T) {
+	wl := Build(smallCfg(true))
+	ev := runDetection(t, wl, 0.5, 400)
+	if ev.Recall < 0.5 {
+		t.Errorf("VS2 recall %.2f (detected %d/%d)", ev.Recall, ev.Detected, ev.Inserted)
+	}
+	if ev.Precision < 0.5 {
+		t.Errorf("VS2 precision %.2f (%d/%d correct)", ev.Precision, ev.Correct, ev.Reported)
+	}
+}
+
+func TestKeyWindowFrames(t *testing.T) {
+	c := Config{KeyFPS: 2}
+	if c.KeyWindowFrames(5) != 10 {
+		t.Errorf("5 s at 2 key fps = %d frames", c.KeyWindowFrames(5))
+	}
+	if c.KeyWindowFrames(0.1) != 1 {
+		t.Error("window floor not 1")
+	}
+}
+
+func TestQueryFeaturesAndPooledCaches(t *testing.T) {
+	w := Build(smallCfg(false))
+	pl, err := NewPipeline(4, 5, partition.GridPyramid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := w.QueryFeatures(pl.Extractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qf) != len(w.Queries) {
+		t.Fatalf("features for %d queries, want %d", len(qf), len(w.Queries))
+	}
+	for _, q := range w.Queries {
+		if len(qf[q.ID]) != q.Video.Len() {
+			t.Errorf("query %d: %d vectors for %d frames", q.ID, len(qf[q.ID]), q.Video.Len())
+		}
+	}
+	// Pooled caches return identical slices on second call.
+	p1, err := w.StreamPooled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := w.StreamPooled()
+	if &p1[0] != &p2[0] {
+		t.Error("StreamPooled did not cache")
+	}
+	q1, err := w.QueryPooled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := w.QueryPooled()
+	if len(q1) != len(q2) {
+		t.Error("QueryPooled cache inconsistent")
+	}
+	// Pooled features agree with direct extraction after normalisation.
+	full, _ := w.StreamFeatures(pl.Extractor)
+	for i := range p1 {
+		direct := pl.Extractor.FromPooled(p1[i])
+		for j := range direct {
+			if direct[j] != full[i][j] {
+				t.Fatalf("frame %d dim %d: pooled-derived %g != direct %g",
+					i, j, direct[j], full[i][j])
+			}
+		}
+	}
+	w.InvalidateCache()
+	again, err := w.StreamFeatures(pl.Extractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(full) {
+		t.Error("features differ after InvalidateCache")
+	}
+}
+
+func TestNewPipelineErrors(t *testing.T) {
+	if _, err := NewPipeline(0, 5, partition.GridPyramid); err == nil {
+		t.Error("u=0 accepted")
+	}
+	if _, err := NewPipeline(4, 20, partition.GridPyramid); err == nil {
+		t.Error("d>D accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package vdsms
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestNewStreamSharesQueries(t *testing.T) {
+	det, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 21, 20)
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	sibling, err := det.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sibling.NumQueries() != 1 {
+		t.Fatalf("sibling sees %d queries", sibling.NumQueries())
+	}
+	// Subscribing through the sibling is visible to the original.
+	if err := sibling.AddQuery(2, bytes.NewReader(clip(t, 22, 16))); err != nil {
+		t.Fatal(err)
+	}
+	if det.NumQueries() != 2 {
+		t.Error("shared subscription not visible")
+	}
+	// The sibling detects the copy on its own stream; positions are
+	// independent of the original detector's stream state.
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 1,
+		bytes.NewReader(clip(t, 300, 20)), bytes.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sibling.Monitor(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Error("sibling missed the copy")
+	}
+}
+
+func TestNewStreamConcurrent(t *testing.T) {
+	det, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]byte{clip(t, 31, 16), clip(t, 32, 16), clip(t, 33, 16)}
+	for i, q := range queries {
+		if err := det.AddQuery(i+1, bytes.NewReader(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([][]Match, 3)
+	for c := 0; c < 3; c++ {
+		d := det
+		if c > 0 {
+			var err error
+			d, err = det.NewStream()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var stream bytes.Buffer
+		err := ComposeStream(&stream, 80, 1,
+			bytes.NewReader(clip(t, int64(400+c), 24)),
+			bytes.NewReader(queries[c]),
+			bytes.NewReader(clip(t, int64(500+c), 24)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Bytes()
+		wg.Add(1)
+		go func(c int, d *Detector) {
+			defer wg.Done()
+			ms, err := d.Monitor(bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[c] = ms
+		}(c, d)
+	}
+	wg.Wait()
+	for c, ms := range results {
+		found := false
+		for _, m := range ms {
+			if m.QueryID == c+1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stream %d missed query %d", c, c+1)
+		}
+	}
+}
+
+func TestSaveLoadDetector(t *testing.T) {
+	det, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 41, 20)
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := det.SaveQueries(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadDetector(testConfig(), bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumQueries() != 1 {
+		t.Fatalf("restored %d queries", restored.NumQueries())
+	}
+	var stream bytes.Buffer
+	err = ComposeStream(&stream, 80, 1,
+		bytes.NewReader(clip(t, 600, 20)), bytes.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Bytes()
+	a, err := det.Monitor(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Monitor(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("original %d matches, restored %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("match %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadDetectorKMismatch(t *testing.T) {
+	det, _ := NewDetector(testConfig())
+	det.AddQuery(1, bytes.NewReader(clip(t, 51, 10)))
+	var snap bytes.Buffer
+	det.SaveQueries(&snap)
+	other := testConfig()
+	other.K = 128
+	if _, err := LoadDetector(other, bytes.NewReader(snap.Bytes())); err == nil {
+		t.Error("K mismatch accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package vdsms
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// repeatingStream serves one encoded segment's frames over and over as a
+// single endless-ish stream: header once, then the frame payloads of the
+// segment repeated n times. Segments must start with an I-frame (GOP 1
+// here), so the concatenation is a valid stream.
+func repeatingStream(t *testing.T, segment []byte, repeats int) io.Reader {
+	t.Helper()
+	const headerSize = 18 // mpeg stream header bytes
+	readers := []io.Reader{bytes.NewReader(segment[:headerSize])}
+	for i := 0; i < repeats; i++ {
+		readers = append(readers, bytes.NewReader(segment[headerSize:]))
+	}
+	return io.MultiReader(readers...)
+}
+
+// TestSoakLongStreamBoundedMemory monitors roughly two hours of stream
+// time and asserts the detector's memory stays bounded — candidate expiry,
+// signature pruning and archival retention must all hold up over long
+// runs.
+func TestSoakLongStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := testConfig()
+	cfg.ArchiveSec = 30
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := clip(t, 81, 20)
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	var archived int
+	det.OnMatchClip = func(Match, []byte) { archived++ }
+
+	// One 6-minute segment containing a copy, repeated 20 times ≈ 2 hours.
+	var segment bytes.Buffer
+	err = ComposeStream(&segment, 78, 1,
+		bytes.NewReader(clip(t, 910, 170)),
+		bytes.NewReader(query),
+		bytes.NewReader(clip(t, 911, 170)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	const repeats = 20
+	matches, err := det.Monitor(repeatingStream(t, segment.Bytes(), repeats))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	st := det.Stats()
+	wantFrames := repeats * 720 // 360 s × 2 key fps per repeat
+	if st.Frames != wantFrames {
+		t.Fatalf("processed %d key frames, want %d", st.Frames, wantFrames)
+	}
+	// Every repetition contains one copy; all must be found.
+	found := 0
+	last := -1
+	for _, m := range matches {
+		if int(m.DetectedAt.Seconds())/360 != last {
+			last = int(m.DetectedAt.Seconds()) / 360
+			found++
+		}
+	}
+	if found < repeats {
+		t.Errorf("detected copies in %d of %d repetitions", found, repeats)
+	}
+	if archived == 0 {
+		t.Error("no segments archived during the soak")
+	}
+	// Heap growth must stay far below the stream size (accumulating
+	// matches/archive callbacks aside, state is bounded).
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 64<<20 {
+		t.Errorf("heap grew by %d MiB over a 2-hour stream", growth>>20)
+	}
+}

@@ -1,0 +1,357 @@
+// Package vdsms is a Video Data Stream Management System for continuous
+// content-based copy detection over streaming videos, reproducing Yan, Ooi
+// and Zhou (ICDE 2008).
+//
+// A Detector monitors compressed video streams (the repository's MVC1
+// format; see internal/mpeg) for copies of subscribed query videos. Frames
+// are fingerprinted in the compressed domain (DC coefficients of key
+// frames, grid–pyramid cell ids), sequences are compared by set similarity
+// estimated with K-min-hash sketches, and the per-window work is done with
+// 2K-bit vector signatures pruned by Lemma 2 and accelerated by a
+// Hash-Query index over the query sketches. Detection is robust to
+// brightness/colour edits, noise, resolution and frame-rate changes, and —
+// the paper's headline property — temporal reordering of the copied
+// material.
+//
+// Typical use:
+//
+//	det, _ := vdsms.NewDetector(vdsms.DefaultConfig())
+//	det.AddQuery(1, queryClipReader)      // an encoded MVC1 clip
+//	matches, _ := det.Monitor(streamReader)
+//
+// Synthesize, ApplyEdits and ComposeStream generate demo material so the
+// examples run without any video assets.
+package vdsms
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"vdsms/internal/core"
+	"vdsms/internal/feature"
+	"vdsms/internal/mpeg"
+	"vdsms/internal/partition"
+)
+
+// Config parameterises a Detector. DefaultConfig returns the paper's
+// Table I defaults.
+type Config struct {
+	// K is the number of min-hash functions.
+	K int
+	// Seed fixes the hash family; detectors that must agree on sketches
+	// need equal (K, Seed).
+	Seed int64
+	// Delta is the similarity threshold δ in (0, 1].
+	Delta float64
+	// Lambda bounds candidate length to λ × query length.
+	Lambda float64
+	// WindowSec is the basic window duration w in seconds of stream time.
+	WindowSec float64
+	// KeyFPS is the expected key-frame rate of monitored streams
+	// (stream fps ÷ GOP). Streams whose rate differs by more than 20% are
+	// rejected so window durations stay meaningful.
+	KeyFPS float64
+	// U is the grid partition granularity; D the feature dimensionality.
+	U, D int
+	// Sequential, when true, uses the Sequential candidate order
+	// (higher accuracy); otherwise Geometric (lower cost).
+	Sequential bool
+	// UseSketchMethod selects raw sketch comparison instead of bit
+	// signatures (mainly for experimentation; bit signatures are strictly
+	// faster at equal accuracy).
+	UseSketchMethod bool
+	// NoIndex disables the Hash-Query index (linear scan per window).
+	NoIndex bool
+	// ArchiveSec, when positive, keeps the most recent ArchiveSec seconds
+	// of the monitored stream's compressed frames in memory so that, on a
+	// match, the matched segment can be saved as a standalone clip for
+	// further analysis (delivered via OnMatchClip). This is the paper's
+	// "only store the video sequences which are relevant to the queries".
+	ArchiveSec float64
+}
+
+// DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
+// u=4, d=5, w=5s, λ=2, Bit method, Sequential order, index enabled.
+func DefaultConfig() Config {
+	return Config{
+		K: 800, Delta: 0.7, Lambda: 2, WindowSec: 5, KeyFPS: 2,
+		U: 4, D: 5, Sequential: true,
+	}
+}
+
+// Match is one detected copy, in stream time.
+type Match struct {
+	// QueryID identifies the matched query.
+	QueryID int
+	// Start and End delimit the matching candidate sequence.
+	Start, End time.Duration
+	// DetectedAt is the stream time at which the match was reported.
+	DetectedAt time.Duration
+	// Similarity is the estimated set similarity (≥ the configured δ).
+	Similarity float64
+}
+
+// Stats reports detector-side operation counters; see core.Stats for field
+// semantics.
+type Stats = core.Stats
+
+// Detector is the continuous copy-detection facade. It is not safe for
+// concurrent use.
+type Detector struct {
+	cfg      Config
+	pipeline pipeline
+	engine   *core.Engine
+	winKeyF  int
+	// OnMatch, when set, receives matches as the stream is consumed.
+	OnMatch func(Match)
+	// OnMatchClip, when set together with Config.ArchiveSec, additionally
+	// receives a standalone MVC1 clip of the matched stream segment
+	// (starting at the nearest retained I-frame before the match). The
+	// clip is only as long as the retention window allows.
+	OnMatchClip func(Match, []byte)
+
+	// Per-Monitor-call archival state.
+	curPD   *mpeg.PartialDecoder
+	keyBase int   // engine key-frame ordinal at the segment start
+	keyMap  []int // key ordinal − keyBase → stream frame index
+}
+
+type pipeline struct {
+	ex *feature.Extractor
+	pt partition.Partitioner
+}
+
+func (p pipeline) ids(dcs []*mpeg.DCFrame) []uint64 {
+	out := make([]uint64, len(dcs))
+	scratch := make([]float64, p.pt.D)
+	for i, dcf := range dcs {
+		out[i] = p.pt.CellInto(p.ex.Vector(dcf), scratch)
+	}
+	return out
+}
+
+// NewDetector validates cfg and builds a detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	if cfg.WindowSec <= 0 {
+		return nil, fmt.Errorf("vdsms: WindowSec %g must be positive", cfg.WindowSec)
+	}
+	if cfg.KeyFPS <= 0 {
+		return nil, fmt.Errorf("vdsms: KeyFPS %g must be positive", cfg.KeyFPS)
+	}
+	ex, err := feature.NewExtractor(feature.Config{D: cfg.D})
+	if err != nil {
+		return nil, err
+	}
+	pt, err := partition.New(cfg.U, cfg.D, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	winKeyF := int(math.Round(cfg.WindowSec * cfg.KeyFPS))
+	if winKeyF < 1 {
+		winKeyF = 1
+	}
+	ecfg := core.Config{
+		K: cfg.K, Seed: cfg.Seed, Delta: cfg.Delta, Lambda: cfg.Lambda,
+		WindowFrames: winKeyF,
+		Order:        core.Geometric,
+		Method:       core.Bit,
+		UseIndex:     !cfg.NoIndex,
+	}
+	if cfg.Sequential {
+		ecfg.Order = core.Sequential
+	}
+	if cfg.UseSketchMethod {
+		ecfg.Method = core.Sketch
+	}
+	eng, err := core.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, pipeline: pipeline{ex: ex, pt: pt}, engine: eng, winKeyF: winKeyF}
+	eng.OnMatch = d.forward
+	return d, nil
+}
+
+// NewStream returns a fresh Detector monitoring an additional concurrent
+// stream against this detector's query set. Queries, their sketches and
+// the Hash-Query index are shared (one subscription covers every stream,
+// as in the paper's multi-stream setting); per-stream candidate state is
+// independent, so the returned detector may run in its own goroutine.
+// AddQuery/RemoveQuery through any sharing detector affects all of them.
+func (d *Detector) NewStream() (*Detector, error) {
+	eng, err := core.NewEngineWith(d.engine.Config(), d.engine.Queries())
+	if err != nil {
+		return nil, err
+	}
+	nd := &Detector{cfg: d.cfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF}
+	eng.OnMatch = nd.forward
+	return nd, nil
+}
+
+// SaveQueries serialises the subscribed queries (ids, lengths, sketches)
+// so a monitor can restart — or fan out to other processes — without
+// re-decoding the query videos. Load with LoadDetector.
+func (d *Detector) SaveQueries(w io.Writer) error {
+	return d.engine.Queries().Save(w)
+}
+
+// LoadDetector builds a detector from cfg with its query set restored from
+// a SaveQueries stream. cfg.K and cfg.Seed must match the values used when
+// the queries were subscribed (the sketches embed the hash family).
+func LoadDetector(cfg Config, r io.Reader) (*Detector, error) {
+	d, err := NewDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := core.LoadQuerySet(r)
+	if err != nil {
+		return nil, err
+	}
+	if qs.K() != cfg.K {
+		return nil, fmt.Errorf("vdsms: saved query set has K=%d, config has K=%d", qs.K(), cfg.K)
+	}
+	eng, err := core.NewEngineWith(d.engine.Config(), qs)
+	if err != nil {
+		return nil, err
+	}
+	d.engine = eng
+	eng.OnMatch = d.forward
+	return d, nil
+}
+
+// forward converts engine matches (key-frame indices) to stream time and
+// archives the matched segment when requested.
+func (d *Detector) forward(m core.Match) {
+	conv := d.convert(m)
+	if d.OnMatch != nil {
+		d.OnMatch(conv)
+	}
+	if d.OnMatchClip == nil || d.curPD == nil {
+		return
+	}
+	streamIdx := -1 // ClipFrom falls back to the oldest retained I-frame
+	if off := m.StartFrame - d.keyBase; off >= 0 && off < len(d.keyMap) {
+		streamIdx = d.keyMap[off]
+	}
+	clip, err := d.curPD.ClipFrom(streamIdx)
+	if err != nil {
+		return // retention too short: deliver nothing rather than garbage
+	}
+	d.OnMatchClip(conv, clip)
+}
+
+func (d *Detector) convert(m core.Match) Match {
+	toDur := func(keyFrame int) time.Duration {
+		return time.Duration(float64(keyFrame) / d.cfg.KeyFPS * float64(time.Second))
+	}
+	return Match{
+		QueryID:    m.QueryID,
+		Start:      toDur(m.StartFrame),
+		End:        toDur(m.EndFrame),
+		DetectedAt: toDur(m.DetectedAt),
+		Similarity: m.Similarity,
+	}
+}
+
+// AddQuery subscribes a continuous query from an encoded MVC1 clip. The
+// clip is partially decoded; only key-frame fingerprints are retained.
+func (d *Detector) AddQuery(id int, clip io.Reader) error {
+	dcs, _, err := mpeg.ReadAllDC(clip)
+	if err != nil {
+		return fmt.Errorf("vdsms: decoding query %d: %w", id, err)
+	}
+	if len(dcs) == 0 {
+		return fmt.Errorf("vdsms: query %d has no key frames", id)
+	}
+	return d.engine.AddQuery(id, d.pipeline.ids(dcs))
+}
+
+// RemoveQuery unsubscribes a query.
+func (d *Detector) RemoveQuery(id int) error { return d.engine.RemoveQuery(id) }
+
+// NumQueries returns the number of subscribed queries.
+func (d *Detector) NumQueries() int { return d.engine.NumQueries() }
+
+// Monitor consumes an encoded stream to EOF, returning the matches found in
+// this segment. Detector state persists across calls, so consecutive
+// Monitor calls behave as one continuous stream. Matches are also delivered
+// incrementally via OnMatch.
+func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
+	pd, err := mpeg.NewPartialDecoder(stream)
+	if err != nil {
+		return nil, err
+	}
+	hdr := pd.Header()
+	keyRate := hdr.FPS() / float64(hdr.GOP)
+	if keyRate < d.cfg.KeyFPS*0.8 || keyRate > d.cfg.KeyFPS*1.25 {
+		return nil, fmt.Errorf("vdsms: stream key-frame rate %.2f/s incompatible with configured %.2f/s",
+			keyRate, d.cfg.KeyFPS)
+	}
+	// Arm archival for this segment.
+	if d.cfg.ArchiveSec > 0 && d.OnMatchClip != nil {
+		pd.SetRetention(int(d.cfg.ArchiveSec*hdr.FPS()) + 1)
+		d.curPD = pd
+		d.keyBase = d.engine.Stats().Frames
+		d.keyMap = d.keyMap[:0]
+		defer func() { d.curPD = nil }()
+	}
+	maxKeys := int(d.cfg.ArchiveSec*d.cfg.KeyFPS) + 2
+
+	before := len(d.engine.Matches)
+	scratch := make([]float64, d.pipeline.pt.D)
+	for {
+		dcf, err := pd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d.curPD != nil {
+			d.keyMap = append(d.keyMap, dcf.Info.Index)
+			if len(d.keyMap) > maxKeys {
+				trim := len(d.keyMap) - maxKeys
+				d.keyMap = d.keyMap[trim:]
+				d.keyBase += trim
+			}
+		}
+		id := d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch)
+		d.engine.PushFrame(id)
+	}
+	d.engine.Flush()
+	out := make([]Match, 0, len(d.engine.Matches)-before)
+	for _, m := range d.engine.Matches[before:] {
+		out = append(out, d.convert(m))
+	}
+	return out, nil
+}
+
+// Stats returns the engine's operation counters.
+func (d *Detector) Stats() Stats { return d.engine.Stats() }
+
+// MonitorContext is Monitor with cancellation: it stops (returning
+// ctx.Err() and the matches found so far) at the next frame boundary after
+// the context is done. Use for live streams that have no natural EOF.
+func (d *Detector) MonitorContext(ctx context.Context, stream io.Reader) ([]Match, error) {
+	matches, err := d.Monitor(&contextReader{ctx: ctx, r: stream})
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		return matches, cerr
+	}
+	return matches, err
+}
+
+// contextReader fails reads once the context is done.
+type contextReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *contextReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
