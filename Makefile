@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/server .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...

@@ -39,6 +39,7 @@ func main() {
 	saveSet := flag.String("save-queries", "", "after subscribing, save the query set to this file")
 	archiveDir := flag.String("archive-dir", "", "save matched stream segments as clips in this directory")
 	archiveSec := flag.Float64("archive-sec", 120, "seconds of stream retained for archiving")
+	workers := flag.Int("workers", 0, "matching workers per window (0 = inline serial kernel)")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	cfg.K = *k
 	cfg.WindowSec = *window
 	cfg.KeyFPS = *keyFPS
+	cfg.Workers = *workers
 	if *archiveDir != "" {
 		cfg.ArchiveSec = *archiveSec
 	}
@@ -145,6 +147,23 @@ func main() {
 	st := det.Stats()
 	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",
 		st.Frames, st.Windows, st.Matches, st.AvgSignatures())
+	if *workers > 0 {
+		var total, max int64
+		for _, sh := range st.Shards {
+			total += sh.Compared
+			if sh.Compared > max {
+				max = sh.Compared
+			}
+		}
+		// Balance = 1 means every shard compared equally; the parallel
+		// kernel's speedup is bounded by total/(workers·max).
+		balance := 1.0
+		if max > 0 {
+			balance = float64(total) / (float64(len(st.Shards)) * float64(max))
+		}
+		fmt.Fprintf(os.Stderr, "parallel: %d workers, %d comparisons, shard balance %.2f\n",
+			len(st.Shards), total, balance)
+	}
 }
 
 func fatal(err error) {

@@ -1,6 +1,6 @@
 // Command vcdserve runs the copy-detection HTTP service.
 //
-//	vcdserve [-addr :8654] [-delta 0.7] [-k 800] [-window 5] [-keyfps 2] [-queries set.vqs]
+//	vcdserve [-addr :8654] [-delta 0.7] [-k 800] [-window 5] [-keyfps 2] [-workers 0]
 //
 // Endpoints:
 //
@@ -33,6 +33,7 @@ func main() {
 	k := flag.Int("k", 800, "number of min-hash functions")
 	window := flag.Float64("window", 5, "basic window (seconds)")
 	keyFPS := flag.Float64("keyfps", 2, "expected key-frame rate of monitored streams")
+	workers := flag.Int("workers", 0, "matching workers per stream window (0 = inline serial kernel)")
 	flag.Parse()
 
 	cfg := vdsms.DefaultConfig()
@@ -40,6 +41,7 @@ func main() {
 	cfg.K = *k
 	cfg.WindowSec = *window
 	cfg.KeyFPS = *keyFPS
+	cfg.Workers = *workers
 
 	srv, err := server.New(cfg)
 	if err != nil {

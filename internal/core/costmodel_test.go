@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -128,7 +129,7 @@ func TestEngineDeterministic(t *testing.T) {
 	}
 	s1, m1 := build()
 	s2, m2 := build()
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Errorf("stats differ across identical runs:\n%+v\n%+v", s1, s2)
 	}
 	if len(m1) != len(m2) {

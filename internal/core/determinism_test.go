@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The parallel matching kernel promises byte-for-byte agreement with the
+// serial path: the same stream must produce the same Matches slice (order
+// included) and the same Stats totals for every Workers value. These tests
+// pin that contract across all method/order/index variants.
+
+// detRun pushes a fixed multi-query workload through one engine
+// configuration and returns its matches and stats.
+func detRun(t *testing.T, v variant, workers int, batch bool) ([]Match, Stats) {
+	t.Helper()
+	cfg := Config{
+		K: 192, Seed: 5, Delta: 0.5, Lambda: 2, WindowFrames: 10,
+		Order: v.order, Method: v.method, UseIndex: v.useIndex,
+		Workers: workers,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	queries := make([][]uint64, 7)
+	for i := range queries {
+		queries[i] = idStream(rng, i+1, 40+10*i)
+		if err := e.AddQuery(i+1, queries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream: background, then copies of several queries separated by more
+	// background, so windows relate to overlapping query subsets.
+	var stream []uint64
+	stream = append(stream, idStream(rng, 50, 95)...)
+	for _, qi := range []int{2, 0, 5, 3} {
+		stream = append(stream, queries[qi]...)
+		stream = append(stream, idStream(rng, 60+qi, 57)...)
+	}
+	if batch {
+		e.PushFrames(stream)
+	} else {
+		for _, id := range stream {
+			e.PushFrame(id)
+		}
+	}
+	e.Flush()
+	return e.Matches, e.Stats()
+}
+
+// TestParallelMatchesSerial: Workers ∈ {1, 4, 8} must reproduce the serial
+// (Workers=0) match list exactly — same matches, same order — and equal
+// stats totals, for every variant.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			wantM, wantS := detRun(t, v, 0, false)
+			if len(wantM) == 0 {
+				t.Fatal("serial run found no matches; workload is too weak to test anything")
+			}
+			for _, workers := range []int{1, 4, 8} {
+				gotM, gotS := detRun(t, v, workers, false)
+				if !reflect.DeepEqual(gotM, wantM) {
+					t.Errorf("Workers=%d: matches diverge from serial\nserial:   %+v\nparallel: %+v",
+						workers, wantM, gotM)
+				}
+				if !reflect.DeepEqual(gotS.Totals(), wantS.Totals()) {
+					t.Errorf("Workers=%d: stats totals diverge from serial\nserial:   %+v\nparallel: %+v",
+						workers, wantS.Totals(), gotS.Totals())
+				}
+			}
+		})
+	}
+}
+
+// TestPushFramesMatchesPushFrame: the batched entry point must be
+// indistinguishable from per-frame pushing, serial and parallel.
+func TestPushFramesMatchesPushFrame(t *testing.T) {
+	for _, v := range variants {
+		for _, workers := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", v.name, workers), func(t *testing.T) {
+				wantM, wantS := detRun(t, v, workers, false)
+				gotM, gotS := detRun(t, v, workers, true)
+				if !reflect.DeepEqual(gotM, wantM) {
+					t.Errorf("batched matches diverge from per-frame:\nper-frame: %+v\nbatched:   %+v", wantM, gotM)
+				}
+				if !reflect.DeepEqual(gotS, wantS) {
+					t.Errorf("batched stats diverge from per-frame:\nper-frame: %+v\nbatched:   %+v", wantS, gotS)
+				}
+			})
+		}
+	}
+}
+
+// TestShardStatsPartition: per-shard counters must sum to the serial run's
+// single-shard counters — the parallel kernel partitions work, never
+// duplicates it (Sketch-method geometric combines are spine work and are
+// excluded from per-shard counters by design).
+func TestShardStatsPartition(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			_, serial := detRun(t, v, 0, false)
+			if len(serial.Shards) != 1 {
+				t.Fatalf("serial run has %d shard entries, want 1", len(serial.Shards))
+			}
+			for _, workers := range []int{4, 8} {
+				_, par := detRun(t, v, workers, false)
+				if len(par.Shards) != workers {
+					t.Fatalf("Workers=%d: %d shard entries", workers, len(par.Shards))
+				}
+				var sum ShardStats
+				busy := 0
+				for _, sh := range par.Shards {
+					sum.Probed += sh.Probed
+					sum.Pruned += sh.Pruned
+					sum.Compared += sh.Compared
+					if sh.Compared > 0 {
+						busy++
+					}
+				}
+				if sum != serial.Shards[0] {
+					t.Errorf("Workers=%d: shard counters sum to %+v, serial shard is %+v",
+						workers, sum, serial.Shards[0])
+				}
+				if busy < 2 {
+					t.Errorf("Workers=%d: only %d shards did comparison work; queries are not spreading", workers, busy)
+				}
+			}
+		})
+	}
+}

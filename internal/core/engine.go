@@ -17,28 +17,36 @@ type queryInfo struct {
 }
 
 // Engine is the streaming detector for one stream. It consumes one cell id
-// per key frame via PushFrame; matches are delivered to the OnMatch
-// callback (if set) and accumulated in Matches.
+// per key frame via PushFrame (or batches via PushFrames); matches are
+// delivered to the OnMatch callback (if set) and accumulated in Matches.
 //
-// An Engine is not safe for concurrent use, but engines sharing a QuerySet
-// may run in parallel goroutines — probing is read-locked. Do not call
-// AddQuery/RemoveQuery from inside OnMatch (the query set's lock is held
-// during window processing).
+// An Engine is not safe for concurrent use — its intra-stream parallelism
+// is configured with Config.Workers and managed internally — but engines
+// sharing a QuerySet may run in parallel goroutines: probing is read-locked
+// and lookups go through an immutable snapshot. Do not call
+// AddQuery/RemoveQuery from inside OnMatch (the query set's lock may be
+// held during window processing).
 type Engine struct {
-	cfg Config
-	qs  *QuerySet
+	cfg     Config
+	qs      *QuerySet
+	nshards int
 
 	// Stream state.
 	frame  int      // key frames consumed
 	curIDs []uint64 // ids of the window being filled
 
-	seq         []*seqCandidate // Sequential order candidate list C_L
-	geo         []*geoBucket    // Geometric order buckets, oldest first
-	geoReported map[geoKey]bool // match dedup for Geometric cascades
+	// seq is the Sequential order candidate list C_L — the spine. Scalar
+	// fields and the combined sketch are maintained serially; per-query
+	// state lives in per-shard slots owned by one worker each.
+	seq []*seqCandidate
+	// shards own the per-query mutable state of the matching kernel
+	// (Geometric buckets are replicated per shard; see geometric.go).
+	shards []*engineShard
 
 	stats   Stats
 	Matches []Match
-	// OnMatch, when non-nil, is invoked synchronously for every match.
+	// OnMatch, when non-nil, is invoked synchronously for every match, on
+	// the goroutine calling PushFrame/PushFrames/Flush.
 	OnMatch func(Match)
 }
 
@@ -52,7 +60,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, qs: qs}, nil
+	return newEngine(cfg, qs), nil
 }
 
 // NewEngineWith builds an engine monitoring one stream against a shared
@@ -66,7 +74,21 @@ func NewEngineWith(cfg Config, qs *QuerySet) (*Engine, error) {
 	if cfg.K != qs.K() {
 		return nil, fmt.Errorf("core: engine K=%d but query set K=%d", cfg.K, qs.K())
 	}
-	return &Engine{cfg: cfg, qs: qs}, nil
+	return newEngine(cfg, qs), nil
+}
+
+func newEngine(cfg Config, qs *QuerySet) *Engine {
+	n := cfg.Workers
+	if n < 1 {
+		n = 1
+	}
+	e := &Engine{cfg: cfg, qs: qs, nshards: n}
+	e.shards = make([]*engineShard, n)
+	for i := range e.shards {
+		e.shards[i] = &engineShard{id: i, spine: i == 0}
+	}
+	e.stats.Shards = make([]ShardStats, n)
+	return e
 }
 
 // Config returns the engine configuration.
@@ -80,7 +102,11 @@ func (e *Engine) Queries() *QuerySet { return e.qs }
 func (e *Engine) Family() *minhash.Family { return e.qs.Family() }
 
 // Stats returns a snapshot of the operation counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.Shards = append([]ShardStats(nil), e.stats.Shards...)
+	return st
+}
 
 // NumQueries returns the number of subscribed queries.
 func (e *Engine) NumQueries() int { return e.qs.Len() }
@@ -109,6 +135,33 @@ func (e *Engine) PushFrame(cellID uint64) {
 	}
 }
 
+// PushFrames feeds a batch of key-frame cell ids, processing every window
+// that fills. It is equivalent to calling PushFrame per id but amortises
+// the per-frame call overhead, which matters once window processing fans
+// out to workers.
+func (e *Engine) PushFrames(cellIDs []uint64) {
+	for len(cellIDs) > 0 {
+		need := e.cfg.WindowFrames - len(e.curIDs)
+		if need > len(cellIDs) {
+			e.curIDs = append(e.curIDs, cellIDs...)
+			e.frame += len(cellIDs)
+			e.stats.Frames += len(cellIDs)
+			return
+		}
+		e.curIDs = append(e.curIDs, cellIDs[:need]...)
+		e.frame += need
+		e.stats.Frames += need
+		e.processWindow()
+		e.curIDs = e.curIDs[:0]
+		cellIDs = cellIDs[need:]
+	}
+}
+
+// PendingFrames returns how many frames of the currently filling window
+// have been consumed — callers batching PushFrames can align batches to
+// window boundaries so match latency equals the per-frame path's.
+func (e *Engine) PendingFrames() int { return len(e.curIDs) }
+
 // Flush processes a final partial window, if any. Call at end of stream.
 func (e *Engine) Flush() {
 	if len(e.curIDs) > 0 {
@@ -124,44 +177,63 @@ func (e *Engine) curWindowStartFrame() int { return e.frame - len(e.curIDs) }
 // maxWindowsOf returns ⌈λL/w⌉ for a query, under this engine's window.
 func (e *Engine) maxWindowsOf(q *queryInfo) int { return e.cfg.maxWindows(q.frames) }
 
-// processWindow sketches the filled window, determines its related queries,
-// and updates the candidate list under the configured order and method.
+// processWindow sketches the filled window, fans the probe and candidate
+// evaluation out across the query shards, and merges the shards' matches
+// deterministically. With Workers=0 the single shard runs inline and the
+// merge is the identity — the original serial path.
 func (e *Engine) processWindow() {
 	e.stats.Windows++
 	wsk := e.qs.Family().SketchSet(e.curIDs)
+	view := e.qs.view()
 	win := &windowResult{
 		sketch:     wsk,
 		startFrame: e.curWindowStartFrame(),
 		endFrame:   e.frame,
-		related:    map[int]*bitsig.Signature{},
-	}
-	if e.qs.Len() > 0 {
-		if e.cfg.Method == Bit {
-			po := e.probeBit(wsk)
-			for _, r := range po.Related {
-				win.related[r.QID] = r.Sig
-			}
-		} else {
-			win.qids = e.relatedForSketch(wsk)
-		}
+		maxW:       e.globalMaxWindows(view),
+		relatedSh:  make([]map[int]*bitsig.Signature, e.nshards),
+		qidsSh:     make([][]int, e.nshards),
 	}
 
-	switch e.cfg.Order {
-	case Sequential:
-		e.processSequential(win)
-	default:
-		e.processGeometric(win)
+	if e.cfg.Order == Sequential {
+		e.seqPrePass(win)
 	}
+
+	e.runShards(func(s *engineShard) {
+		if len(view.queries) > 0 {
+			e.probeShard(s, win, wsk, view)
+		}
+		switch e.cfg.Order {
+		case Sequential:
+			e.shardSequential(s, win, view)
+		default:
+			e.shardGeometric(s, win, view)
+		}
+	})
+
+	if e.cfg.Order == Sequential {
+		e.seqPostPass(win, view)
+	}
+	e.emitPending()
+	e.foldShardStats()
 }
 
-// probeBit runs the configured prober for the Bit method and accounts its
-// cost. Without the index, the scan performs one full sketch comparison
-// per query to derive each signature.
-func (e *Engine) probeBit(wsk minhash.Sketch) qindex.ProbeOutput {
-	po, scanned := e.qs.probe(wsk, e.pruneDelta())
-	e.stats.SketchCompares += int64(scanned)
-	e.stats.ProbeComparisons += int64(po.Comparisons)
-	return po
+// probeShard determines shard s's related queries for the window: bit
+// signatures under the Bit method, sorted query ids under Sketch.
+func (e *Engine) probeShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryView) {
+	if e.cfg.Method == Bit {
+		po, scanned := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards)
+		s.d.sketchCompares += int64(scanned)
+		s.d.probeComparisons += int64(po.Comparisons)
+		s.d.probed += int64(len(po.Related))
+		s.d.pruned += int64(len(po.Pruned))
+		rel := make(map[int]*bitsig.Signature, len(po.Related))
+		for _, r := range po.Related {
+			rel[r.QID] = r.Sig
+		}
+		win.relatedSh[s.id] = rel
+		return
+	}
+	win.qidsSh[s.id] = e.relatedForSketchShard(s, wsk, view)
 }
 
 // pruneDelta is the δ handed to probers for Lemma 2 pruning: the real
@@ -173,12 +245,15 @@ func (e *Engine) pruneDelta() float64 {
 	return e.cfg.Delta
 }
 
-// relatedForSketch returns the query ids the Sketch method must compare
-// with this window: the probe's R_L with the index, or every query without.
-func (e *Engine) relatedForSketch(wsk minhash.Sketch) []int {
+// relatedForSketchShard returns the query ids of shard s the Sketch method
+// must compare with this window: the shard's slice of the probe's R_L with
+// the index, or every owned query without.
+func (e *Engine) relatedForSketchShard(s *engineShard, wsk minhash.Sketch, view *queryView) []int {
 	if e.qs.usingIndex() {
-		po, _ := e.qs.probe(wsk, e.pruneDelta())
-		e.stats.ProbeComparisons += int64(po.Comparisons)
+		po, _ := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards)
+		s.d.probeComparisons += int64(po.Comparisons)
+		s.d.probed += int64(len(po.Related))
+		s.d.pruned += int64(len(po.Pruned))
 		ids := make([]int, 0, len(po.Related))
 		for _, r := range po.Related {
 			ids = append(ids, r.QID)
@@ -186,44 +261,53 @@ func (e *Engine) relatedForSketch(wsk minhash.Sketch) []int {
 		sort.Ints(ids)
 		return ids
 	}
-	ids := e.qs.IDs()
+	ids := make([]int, 0, len(view.queries)/e.nshards+1)
+	for id := range view.queries {
+		if qindex.ShardOf(id, e.nshards) == s.id {
+			ids = append(ids, id)
+		}
+	}
 	sort.Ints(ids)
 	return ids
 }
 
+// globalMaxWindows returns the largest ⌈λL/w⌉ over the snapshot's queries
+// (1 when no queries are subscribed, so the structures stay bounded).
+func (e *Engine) globalMaxWindows(view *queryView) int {
+	if view.maxFrames == 0 {
+		return 1
+	}
+	return e.cfg.maxWindows(view.maxFrames)
+}
+
 // windowResult carries everything downstream stages need about one basic
-// window.
+// window, partitioned by query shard.
 type windowResult struct {
 	sketch     minhash.Sketch
 	startFrame int
 	endFrame   int
-	related    map[int]*bitsig.Signature // Bit: window-vs-query signatures
-	qids       []int                     // Sketch: related query ids, sorted
+	maxW       int                         // global candidate bound ⌈λL_max/w⌉
+	relatedSh  []map[int]*bitsig.Signature // Bit: per-shard window-vs-query signatures
+	qidsSh     [][]int                     // Sketch: per-shard related query ids, sorted
 }
 
-// report emits a match.
-func (e *Engine) report(qid, startFrame, endFrame, windows int, sim float64) {
-	m := Match{
-		QueryID:    qid,
-		StartFrame: startFrame,
-		EndFrame:   endFrame,
-		DetectedAt: endFrame,
-		Similarity: sim,
-		Windows:    windows,
+// relatedLen returns the total number of related queries across shards.
+func (w *windowResult) relatedLen() int {
+	n := 0
+	for _, m := range w.relatedSh {
+		n += len(m)
 	}
+	for _, ids := range w.qidsSh {
+		n += len(ids)
+	}
+	return n
+}
+
+// emit records a merged match.
+func (e *Engine) emit(m Match) {
 	e.stats.Matches++
 	e.Matches = append(e.Matches, m)
 	if e.OnMatch != nil {
 		e.OnMatch(m)
 	}
-}
-
-// relatedQIDs returns the probe's related query ids in deterministic order.
-func (w *windowResult) relatedQIDs() []int {
-	ids := make([]int, 0, len(w.related))
-	for qid := range w.related {
-		ids = append(ids, qid)
-	}
-	sort.Ints(ids)
-	return ids
 }

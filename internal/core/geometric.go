@@ -10,6 +10,12 @@ import (
 // signatures) have been pre-combined. The stored buckets form a binary
 // counter — sizes grow geometrically from newest to oldest — so an arriving
 // window only touches ⌈log i⌉ of them (paper Figures 2 and 3).
+//
+// Under the parallel kernel every shard maintains its own replica of the
+// bucket list. Bucket boundaries, merges and expiry depend only on window
+// counts and the global λL bound — never on query content — so the
+// replicas' structures stay congruent; each replica's maps hold only the
+// owning shard's queries.
 type geoBucket struct {
 	startFrame, endFrame int
 	windows              int
@@ -28,89 +34,100 @@ type geoKey struct {
 	start int
 }
 
-// processGeometric implements Geometric order. The arriving window is
-// tested alone, then cascaded through the stored buckets newest→oldest,
-// testing each cumulative suffix; storage is updated binary-counter style.
-func (e *Engine) processGeometric(win *windowResult) {
-	if e.geoReported == nil {
-		e.geoReported = make(map[geoKey]bool)
+// shardGeometric implements Geometric order for one shard's replica. The
+// arriving window is tested alone, then cascaded through the stored
+// buckets newest→oldest, testing each cumulative suffix; storage is
+// updated binary-counter style. Per-query work (signature ors, sketch
+// compares, match tests) touches only the shard's queries and therefore
+// partitions across shards; the Sketch method's per-bucket sketch combines
+// are replicated per shard and accounted by shard 0 alone so the totals
+// stay worker-count invariant.
+func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryView) {
+	if s.geoReported == nil {
+		s.geoReported = make(map[geoKey]bool)
 	}
-	nb := e.newGeoBucket(win)
+	nb := e.newGeoBucket(s, win)
 
 	// Test the window alone.
-	e.testGeo(nb)
+	e.testGeo(s, nb, view)
 
 	// Transient cascade: suffix = window ∪ newest ∪ next ∪ ...
-	maxW := e.globalMaxWindows()
+	maxW := win.maxW
 	acc := nb
-	for i := len(e.geo) - 1; i >= 0; i-- {
-		if acc.windows+e.geo[i].windows > maxW {
+	for i := len(s.geo) - 1; i >= 0; i-- {
+		if acc.windows+s.geo[i].windows > maxW {
 			break
 		}
-		acc = e.mergeGeo(e.geo[i], acc)
-		e.testGeo(acc)
+		acc = e.mergeGeo(s, s.geo[i], acc, view)
+		e.testGeo(s, acc, view)
 	}
 
 	// Storage update: push the size-1 bucket, merge equal-size neighbours.
 	// Merges whose result would exceed the λL bound are pointless (such a
 	// candidate can never match any query) and would starve the cascade,
 	// so they are suppressed.
-	e.geo = append(e.geo, e.cloneGeo(nb))
-	for n := len(e.geo); n >= 2 &&
-		e.geo[n-1].windows >= e.geo[n-2].windows &&
-		e.geo[n-1].windows+e.geo[n-2].windows <= maxW; n = len(e.geo) {
-		merged := e.mergeGeo(e.geo[n-2], e.geo[n-1])
-		e.geo = append(e.geo[:n-2], merged)
+	s.geo = append(s.geo, e.cloneGeo(nb))
+	for n := len(s.geo); n >= 2 &&
+		s.geo[n-1].windows >= s.geo[n-2].windows &&
+		s.geo[n-1].windows+s.geo[n-2].windows <= maxW; n = len(s.geo) {
+		merged := e.mergeGeo(s, s.geo[n-2], s.geo[n-1], view)
+		s.geo = append(s.geo[:n-2], merged)
 	}
 	// Expire the oldest buckets beyond the λL bound.
 	total := 0
-	for _, b := range e.geo {
+	for _, b := range s.geo {
 		total += b.windows
 	}
-	for len(e.geo) > 0 && total > maxW {
-		total -= e.geo[0].windows
-		e.geo = e.geo[1:]
+	for len(s.geo) > 0 && total > maxW {
+		total -= s.geo[0].windows
+		s.geo = s.geo[1:]
 	}
 
-	// Accounting.
+	// Accounting: per-query state sums across shards; the candidate count
+	// is structural (identical replicas) and counted by shard 0 only.
 	var sigCount int64
-	for _, b := range e.geo {
+	for _, b := range s.geo {
 		if e.cfg.Method == Bit {
 			sigCount += int64(len(b.sigs))
 		} else {
 			sigCount += int64(len(b.related))
 		}
 	}
-	e.stats.SignatureSum += sigCount
-	e.stats.CandidateSum += int64(len(e.geo))
+	s.d.signatureSum += sigCount
+	if s.spine {
+		s.d.candidateSum += int64(len(s.geo))
+	}
 
 	// Periodically sweep the dedup map of entries too old to recur.
 	if e.stats.Windows%64 == 0 {
 		horizon := win.endFrame - (maxW+1)*e.cfg.WindowFrames
-		for k := range e.geoReported {
+		for k := range s.geoReported {
 			if k.start < horizon {
-				delete(e.geoReported, k)
+				delete(s.geoReported, k)
 			}
 		}
 	}
 }
 
-// newGeoBucket wraps the arriving window as a size-1 bucket.
-func (e *Engine) newGeoBucket(win *windowResult) *geoBucket {
+// newGeoBucket wraps the arriving window as a size-1 bucket holding the
+// shard's slice of the probe results.
+func (e *Engine) newGeoBucket(s *engineShard, win *windowResult) *geoBucket {
 	b := &geoBucket{
 		startFrame: win.startFrame,
 		endFrame:   win.endFrame,
 		windows:    1,
 	}
 	if e.cfg.Method == Bit {
-		b.sigs = make(map[int]*bitsig.Signature, len(win.related))
-		for qid, sig := range win.related {
+		rel := win.relatedSh[s.id]
+		b.sigs = make(map[int]*bitsig.Signature, len(rel))
+		for qid, sig := range rel {
 			b.sigs[qid] = sig
 		}
 	} else {
 		b.sketch = win.sketch
-		b.related = make(map[int]bool, len(win.qids))
-		for _, qid := range win.qids {
+		qids := win.qidsSh[s.id]
+		b.related = make(map[int]bool, len(qids))
+		for _, qid := range qids {
 			b.related[qid] = true
 		}
 	}
@@ -147,7 +164,7 @@ func (e *Engine) cloneGeo(b *geoBucket) *geoBucket {
 // their consecutive candidate sequences; true-copy windows always stay
 // related, so this costs no detectable copies), and no sketch operations
 // are performed at all — the asymmetry behind the Fig. 6 CPU split.
-func (e *Engine) mergeGeo(old, new_ *geoBucket) *geoBucket {
+func (e *Engine) mergeGeo(s *engineShard, old, new_ *geoBucket, view *queryView) *geoBucket {
 	out := &geoBucket{
 		startFrame: old.startFrame,
 		endFrame:   new_.endFrame,
@@ -160,22 +177,27 @@ func (e *Engine) mergeGeo(old, new_ *geoBucket) *geoBucket {
 			if b == nil {
 				continue
 			}
-			q := e.qs.lookup(qid)
+			q := view.lookup(qid)
 			if q == nil || out.windows > e.maxWindowsOf(q) {
 				continue
 			}
-			s := a.Clone()
-			s.Or(b)
-			e.stats.SigOrs++
-			if !e.cfg.DisablePrune && s.Prunable(e.cfg.Delta) {
+			sig := a.Clone()
+			sig.Or(b)
+			s.d.sigOrs++
+			if !e.cfg.DisablePrune && sig.Prunable(e.cfg.Delta) {
+				s.d.pruned++
 				continue
 			}
-			out.sigs[qid] = s
+			out.sigs[qid] = sig
 		}
 		return out
 	}
+	// Every replica combines its own copy of the sketch (duplicated CPU,
+	// but off the per-query critical path); only the spine shard counts it.
 	out.sketch = minhash.Combined(old.sketch, new_.sketch)
-	e.stats.SketchCombines++
+	if s.spine {
+		s.d.sketchCombines++
+	}
 	out.related = make(map[int]bool)
 	for qid := range old.related {
 		out.related[qid] = true
@@ -184,7 +206,7 @@ func (e *Engine) mergeGeo(old, new_ *geoBucket) *geoBucket {
 		out.related[qid] = true
 	}
 	for qid := range out.related {
-		q := e.qs.lookup(qid)
+		q := view.lookup(qid)
 		if q == nil || out.windows > e.maxWindowsOf(q) {
 			delete(out.related, qid)
 		}
@@ -192,54 +214,44 @@ func (e *Engine) mergeGeo(old, new_ *geoBucket) *geoBucket {
 	return out
 }
 
-// testGeo evaluates one (possibly transient) candidate against its related
-// queries, reporting threshold crossings once per (query, start).
-func (e *Engine) testGeo(b *geoBucket) {
+// testGeo evaluates one (possibly transient) candidate against the shard's
+// tracked queries, buffering threshold crossings once per (query, start).
+func (e *Engine) testGeo(s *engineShard, b *geoBucket, view *queryView) {
 	if e.cfg.Method == Bit {
 		for _, qid := range sortedSigKeys(b.sigs) {
 			sig := b.sigs[qid]
-			q := e.qs.lookup(qid)
+			q := view.lookup(qid)
 			if q == nil || b.windows > e.maxWindowsOf(q) {
 				continue
 			}
-			e.stats.SigTests++
+			s.d.sigTests++
 			sim := sig.Similarity()
 			if sim < e.cfg.Delta {
 				continue
 			}
 			k := geoKey{qid: qid, start: b.startFrame}
-			if !e.geoReported[k] {
-				e.geoReported[k] = true
-				e.report(qid, b.startFrame, b.endFrame, b.windows, sim)
+			if !s.geoReported[k] {
+				s.geoReported[k] = true
+				s.push(0, b.startFrame, qid, newMatch(qid, b.startFrame, b.endFrame, b.windows, sim))
 			}
 		}
 		return
 	}
 	for _, qid := range sortedSetKeys(b.related) {
-		q := e.qs.lookup(qid)
+		q := view.lookup(qid)
 		if q == nil || b.windows > e.maxWindowsOf(q) {
 			continue
 		}
 		eq, _ := minhash.CompareCounts(b.sketch, q.sketch)
-		e.stats.SketchCompares++
+		s.d.sketchCompares++
 		sim := float64(eq) / float64(e.cfg.K)
 		if sim < e.cfg.Delta {
 			continue
 		}
 		k := geoKey{qid: qid, start: b.startFrame}
-		if !e.geoReported[k] {
-			e.geoReported[k] = true
-			e.report(qid, b.startFrame, b.endFrame, b.windows, sim)
+		if !s.geoReported[k] {
+			s.geoReported[k] = true
+			s.push(0, b.startFrame, qid, newMatch(qid, b.startFrame, b.endFrame, b.windows, sim))
 		}
 	}
-}
-
-// globalMaxWindows returns the largest ⌈λL/w⌉ over live queries (1 when no
-// queries are subscribed, so the structures stay bounded).
-func (e *Engine) globalMaxWindows() int {
-	frames := e.qs.maxFrames()
-	if frames == 0 {
-		return 1
-	}
-	return e.cfg.maxWindows(frames)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"vdsms/internal/minhash"
 	"vdsms/internal/qindex"
@@ -29,7 +30,38 @@ type QuerySet struct {
 	queries  map[int]*queryInfo
 	index    *qindex.Index // nil until first query when useIndex
 	scan     qindex.Scan
+	// cur is the immutable snapshot used by window processing: engines (and
+	// their worker shards) read query state lock-free and see one
+	// consistent subscription set per window. Add/Remove publish a fresh
+	// snapshot under the write lock; the copy is O(m), dominated by the
+	// O(K·m) index maintenance those paths already pay.
+	cur atomic.Pointer[queryView]
 }
+
+// queryView is an immutable snapshot of the subscription state. queryInfo
+// values are never mutated after insertion, so sharing them is safe.
+type queryView struct {
+	queries   map[int]*queryInfo
+	maxFrames int
+}
+
+// lookup returns the snapshot's query with the given id, or nil.
+func (v *queryView) lookup(id int) *queryInfo { return v.queries[id] }
+
+// rebuildView publishes a fresh snapshot; callers hold the write lock.
+func (qs *QuerySet) rebuildView() {
+	v := &queryView{queries: make(map[int]*queryInfo, len(qs.queries))}
+	for id, q := range qs.queries {
+		v.queries[id] = q
+		if q.frames > v.maxFrames {
+			v.maxFrames = q.frames
+		}
+	}
+	qs.cur.Store(v)
+}
+
+// view returns the current immutable snapshot (never nil).
+func (qs *QuerySet) view() *queryView { return qs.cur.Load() }
 
 // NewQuerySet builds an empty query set with K hash functions drawn from
 // seed. useIndex selects Hash-Query-index probing over linear scans.
@@ -38,13 +70,15 @@ func NewQuerySet(k int, seed int64, useIndex bool) (*QuerySet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QuerySet{
+	qs := &QuerySet{
 		fam:      fam,
 		k:        k,
 		seed:     seed,
 		useIndex: useIndex,
 		queries:  make(map[int]*queryInfo),
-	}, nil
+	}
+	qs.rebuildView()
+	return qs, nil
 }
 
 // K returns the number of hash functions.
@@ -105,6 +139,7 @@ func (qs *QuerySet) insert(q *queryInfo) error {
 	}
 	qs.queries[q.id] = q
 	qs.scan.Queries = append(qs.scan.Queries, iq)
+	qs.rebuildView()
 	return nil
 }
 
@@ -122,6 +157,7 @@ func (qs *QuerySet) Remove(id int) error {
 			break
 		}
 	}
+	qs.rebuildView()
 	if qs.useIndex && qs.index != nil {
 		return qs.index.Remove(id)
 	}
@@ -135,35 +171,16 @@ func (qs *QuerySet) usingIndex() bool {
 	return qs.useIndex && qs.index != nil
 }
 
-// probe runs the configured prober under the read lock.
-func (qs *QuerySet) probe(sk minhash.Sketch, delta float64) (qindex.ProbeOutput, int) {
+// probeShard runs the configured prober for one query shard under the read
+// lock. Shard outputs and scan counts partition the full probe's exactly
+// (see qindex.ShardOf), so per-window stats are worker-count invariant.
+func (qs *QuerySet) probeShard(sk minhash.Sketch, delta float64, shard, nshards int) (qindex.ProbeOutput, int) {
 	qs.mu.RLock()
 	defer qs.mu.RUnlock()
 	if qs.useIndex && qs.index != nil {
-		return qs.index.Probe(sk, delta), 0
+		return qs.index.ProbeShard(sk, delta, shard, nshards), 0
 	}
-	return qs.scan.Probe(sk, delta), len(qs.scan.Queries)
-}
-
-// lookup returns the query with the given id, or nil.
-func (qs *QuerySet) lookup(id int) *queryInfo {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	return qs.queries[id]
-}
-
-// snapshotIDs returns the sorted subscribed ids and, when withSketch, each
-// query's sketch (for the Sketch method's brute-force comparisons).
-func (qs *QuerySet) maxFrames() int {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	max := 0
-	for _, q := range qs.queries {
-		if q.frames > max {
-			max = q.frames
-		}
-	}
-	return max
+	return qs.scan.ProbeShard(sk, delta, shard, nshards)
 }
 
 // Serialisation format "VQS1": K, seed, useIndex, count, then per query

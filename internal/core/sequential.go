@@ -6,171 +6,226 @@ import (
 )
 
 // seqCandidate is one entry of the Sequential-order candidate list: the
-// suffix of the stream starting at startFrame. Depending on the method it
-// carries per-query bit signatures or a combined sketch plus related set.
+// suffix of the stream starting at startFrame. The scalar spine fields
+// (interval, size, combined sketch) are advanced serially once per window;
+// the per-query state is split into per-shard slots — slot s holds only
+// queries with ShardOf(qid) == s and is mutated exclusively by shard s
+// during the parallel phase.
 type seqCandidate struct {
 	startFrame int
 	windows    int
-	// Bit method state.
-	sigs map[int]*bitsig.Signature
-	// Sketch method state.
-	sketch  minhash.Sketch
-	related map[int]bool
+	// Sketch method spine state: the combined candidate sketch.
+	sketch minhash.Sketch
+	// Bit method per-shard state: one signature per tracked query.
+	sigs []map[int]*bitsig.Signature
+	// Sketch method per-shard state: the tracked query sets.
+	related []map[int]bool
 	// reported dedups match reports per query for this candidate.
-	reported map[int]bool
+	reported []map[int]bool
 }
 
-// processSequential implements Sequential order: every suffix candidate is
-// extended by the new window; a fresh size-1 candidate is appended.
-func (e *Engine) processSequential(win *windowResult) {
-	if e.cfg.Method == Bit {
-		e.seqBit(win)
-	} else {
-		e.seqSketch(win)
-	}
-	// Memory/candidate accounting after the window is fully folded in.
-	var sigCount int64
-	for _, c := range e.seq {
-		if e.cfg.Method == Bit {
-			sigCount += int64(len(c.sigs))
-		} else {
-			sigCount += int64(len(c.related))
+// tracked returns the number of queries the candidate tracks across all
+// shard slots (signatures for Bit, related entries for Sketch).
+func (c *seqCandidate) tracked(method Method) int {
+	n := 0
+	if method == Bit {
+		for _, m := range c.sigs {
+			n += len(m)
 		}
+		return n
 	}
-	e.stats.SignatureSum += sigCount
-	e.stats.CandidateSum += int64(len(e.seq))
+	for _, m := range c.related {
+		n += len(m)
+	}
+	return n
 }
 
-// seqBit handles a window under the Bit method.
-func (e *Engine) seqBit(win *windowResult) {
-	// (1) Test the basic window itself against its related queries.
-	newReported := make(map[int]bool)
-	for _, qid := range win.relatedQIDs() {
-		sig := win.related[qid]
-		e.stats.SigTests++
-		if sim := sig.Similarity(); sim >= e.cfg.Delta {
-			e.report(qid, win.startFrame, win.endFrame, 1, sim)
-			newReported[qid] = true
-		}
-	}
-
-	// (2) Extend every existing candidate. A query stays tracked only while
-	// consecutive windows keep it related (Section V.B: candidates maintain
-	// the signatures of queries related to their consecutive candidate
-	// sequences); a window with no equal min-hash against q — or where q
-	// was Lemma 2-pruned — drops q from the candidate. Windows inside a
-	// true copy of q always share min-hashes with q, so this never loses a
-	// detectable copy.
-	kept := e.seq[:0]
+// seqPrePass advances the candidate spine serially before the shard fork:
+// sizes grow by one window, and under the Sketch method the window sketch
+// is folded into each candidate's combined sketch exactly once (the spine
+// operation the shards then compare against read-only).
+func (e *Engine) seqPrePass(win *windowResult) {
 	for _, c := range e.seq {
 		c.windows++
-		for _, qid := range sortedSigKeys(c.sigs) {
-			sig := c.sigs[qid]
-			q := e.qs.lookup(qid)
+		if e.cfg.Method == Sketch {
+			minhash.Combine(c.sketch, win.sketch)
+			e.stats.SketchCombines++
+		}
+	}
+}
+
+// shardSequential runs one shard's slice of the Sequential kernel: the
+// window-alone test for the shard's related queries, then the extension of
+// the shard's slot in every candidate.
+func (e *Engine) shardSequential(s *engineShard, win *windowResult, view *queryView) {
+	s.newReported = make(map[int]bool)
+	if e.cfg.Method == Bit {
+		e.seqShardBit(s, win, view)
+	} else {
+		e.seqShardSketch(s, win, view)
+	}
+}
+
+// seqShardBit is the Bit-method shard phase.
+func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryView) {
+	rel := win.relatedSh[s.id]
+
+	// (1) Test the basic window itself against the shard's related queries.
+	for _, qid := range sortedSigKeys(rel) {
+		sig := rel[qid]
+		s.d.sigTests++
+		if sim := sig.Similarity(); sim >= e.cfg.Delta {
+			s.push(0, win.startFrame, qid, newMatch(qid, win.startFrame, win.endFrame, 1, sim))
+			s.newReported[qid] = true
+		}
+	}
+
+	// (2) Extend the shard's slot of every candidate. A query stays tracked
+	// only while consecutive windows keep it related (Section V.B); a window
+	// with no equal min-hash against q — or where q was Lemma 2-pruned —
+	// drops q from the candidate. Windows inside a true copy of q always
+	// share min-hashes with q, so this never loses a detectable copy.
+	for _, c := range e.seq {
+		sigs := c.sigs[s.id]
+		for _, qid := range sortedSigKeys(sigs) {
+			sig := sigs[qid]
+			q := view.lookup(qid)
 			if q == nil || c.windows > e.maxWindowsOf(q) {
-				delete(c.sigs, qid)
+				delete(sigs, qid)
 				continue
 			}
-			wsig := win.related[qid]
+			wsig := rel[qid]
 			if wsig == nil { // unrelated or pruned: cascade the drop
-				delete(c.sigs, qid)
+				delete(sigs, qid)
 				continue
 			}
 			sig.Or(wsig)
-			e.stats.SigOrs++
+			s.d.sigOrs++
 			if !e.cfg.DisablePrune && sig.Prunable(e.cfg.Delta) {
-				delete(c.sigs, qid)
+				delete(sigs, qid)
+				s.d.pruned++
 				continue
 			}
-			e.stats.SigTests++
-			if sim := sig.Similarity(); sim >= e.cfg.Delta && !c.reported[qid] {
-				e.report(qid, c.startFrame, win.endFrame, c.windows, sim)
-				c.reported[qid] = true
+			s.d.sigTests++
+			if sim := sig.Similarity(); sim >= e.cfg.Delta && !c.reported[s.id][qid] {
+				s.push(1, c.startFrame, qid, newMatch(qid, c.startFrame, win.endFrame, c.windows, sim))
+				c.reported[s.id][qid] = true
 			}
 		}
-		if len(c.sigs) > 0 {
-			kept = append(kept, c)
-		}
-	}
-	e.seq = kept
-
-	// (3) Append the fresh size-1 candidate (its own test happened in (1)).
-	if len(win.related) > 0 {
-		c := &seqCandidate{
-			startFrame: win.startFrame,
-			windows:    1,
-			sigs:       make(map[int]*bitsig.Signature, len(win.related)),
-			reported:   newReported,
-		}
-		for qid, sig := range win.related {
-			c.sigs[qid] = sig.Clone()
-		}
-		e.seq = append(e.seq, c)
 	}
 }
 
-// seqSketch handles a window under the Sketch method.
-func (e *Engine) seqSketch(win *windowResult) {
-	// (1) Test the basic window against its related queries.
-	newReported := make(map[int]bool)
-	for _, qid := range win.qids {
-		q := e.qs.lookup(qid)
+// seqShardSketch is the Sketch-method shard phase. The candidate sketches
+// were already combined by the serial pre-pass; shards only compare.
+func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryView) {
+	// (1) Test the basic window against the shard's related queries.
+	for _, qid := range win.qidsSh[s.id] {
+		q := view.lookup(qid)
 		if q == nil {
 			continue
 		}
 		eq, _ := minhash.CompareCounts(win.sketch, q.sketch)
-		e.stats.SketchCompares++
+		s.d.sketchCompares++
 		if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta {
-			e.report(qid, win.startFrame, win.endFrame, 1, sim)
-			newReported[qid] = true
+			s.push(0, win.startFrame, qid, newMatch(qid, win.startFrame, win.endFrame, 1, sim))
+			s.newReported[qid] = true
 		}
 	}
 
-	// (2) Extend candidates: combine sketches, re-compare related queries.
-	kept := e.seq[:0]
+	// (2) Re-compare each candidate's combined sketch for the shard's
+	// tracked queries.
 	for _, c := range e.seq {
-		c.windows++
-		minhash.Combine(c.sketch, win.sketch)
-		e.stats.SketchCombines++
-		for _, qid := range sortedSetKeys(c.related) {
-			q := e.qs.lookup(qid)
+		relM := c.related[s.id]
+		for _, qid := range sortedSetKeys(relM) {
+			q := view.lookup(qid)
 			if q == nil || c.windows > e.maxWindowsOf(q) {
-				delete(c.related, qid)
+				delete(relM, qid)
 				continue
 			}
 			eq, less := minhash.CompareCounts(c.sketch, q.sketch)
-			e.stats.SketchCompares++
+			s.d.sketchCompares++
 			if !e.cfg.DisablePrune && float64(less) > float64(e.cfg.K)*(1-e.cfg.Delta) {
-				delete(c.related, qid)
+				delete(relM, qid)
+				s.d.pruned++
 				continue
 			}
-			if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta && !c.reported[qid] {
-				e.report(qid, c.startFrame, win.endFrame, c.windows, sim)
-				c.reported[qid] = true
+			if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta && !c.reported[s.id][qid] {
+				s.push(1, c.startFrame, qid, newMatch(qid, c.startFrame, win.endFrame, c.windows, sim))
+				c.reported[s.id][qid] = true
 			}
 		}
-		if len(c.related) > 0 {
+	}
+}
+
+// seqPostPass runs serially after the join: candidates that no shard still
+// tracks are dropped, the fresh size-1 candidate is appended from the
+// window's per-shard probe results, and the memory accounting is taken
+// over the final list (spine work, counted once).
+func (e *Engine) seqPostPass(win *windowResult, view *queryView) {
+	kept := e.seq[:0]
+	for _, c := range e.seq {
+		alive := false
+		if e.cfg.Method == Bit {
+			alive = !allEmptySigs(c.sigs)
+		} else {
+			alive = !allEmptySets(c.related)
+		}
+		if alive {
 			kept = append(kept, c)
 		}
 	}
+	for i := len(kept); i < len(e.seq); i++ {
+		e.seq[i] = nil
+	}
 	e.seq = kept
 
-	// (3) Fresh size-1 candidate tracking the window's related queries.
-	if len(win.qids) > 0 {
+	// Fresh size-1 candidate tracking the window's related queries; its own
+	// window-alone test already ran in the shard phase, so each shard's
+	// newReported map seeds the candidate's dedup slot.
+	if win.relatedLen() > 0 {
 		c := &seqCandidate{
 			startFrame: win.startFrame,
 			windows:    1,
-			sketch:     win.sketch.Clone(),
-			related:    make(map[int]bool, len(win.qids)),
-			reported:   newReported,
+			reported:   make([]map[int]bool, e.nshards),
 		}
-		for _, qid := range win.qids {
-			if e.qs.lookup(qid) != nil {
-				c.related[qid] = true
+		for si := range c.reported {
+			c.reported[si] = e.shards[si].newReported
+		}
+		tracked := 0
+		if e.cfg.Method == Bit {
+			c.sigs = make([]map[int]*bitsig.Signature, e.nshards)
+			for si, rel := range win.relatedSh {
+				m := make(map[int]*bitsig.Signature, len(rel))
+				for qid, sig := range rel {
+					m[qid] = sig.Clone()
+				}
+				c.sigs[si] = m
+				tracked += len(m)
+			}
+		} else {
+			c.sketch = win.sketch.Clone()
+			c.related = make([]map[int]bool, e.nshards)
+			for si, qids := range win.qidsSh {
+				m := make(map[int]bool, len(qids))
+				for _, qid := range qids {
+					if view.lookup(qid) != nil {
+						m[qid] = true
+					}
+				}
+				c.related[si] = m
+				tracked += len(m)
 			}
 		}
-		if len(c.related) > 0 {
+		if tracked > 0 {
 			e.seq = append(e.seq, c)
 		}
 	}
+
+	// Memory/candidate accounting after the window is fully folded in.
+	var sigCount int64
+	for _, c := range e.seq {
+		sigCount += int64(c.tracked(e.cfg.Method))
+	}
+	e.stats.SignatureSum += sigCount
+	e.stats.CandidateSum += int64(len(e.seq))
 }

@@ -217,9 +217,7 @@ func runEngine(cfg core.Config, d *derived, m int) (runResult, error) {
 		}
 	}
 	elapsed := stats.Time(func() {
-		for _, id := range d.streamIDs {
-			eng.PushFrame(id)
-		}
+		eng.PushFrames(d.streamIDs)
 		eng.Flush()
 	})
 	reports := make([]workload.Position, 0, len(eng.Matches))
@@ -300,6 +298,7 @@ var Registry = []Experiment{
 	{"robustness", "Section III.A robustness claims", Robustness},
 	{"ablation-lambda", "Section IV.A tempo scaling", AblationLambda},
 	{"ablation-index-update", "Section V.C.1 online maintenance", AblationIndexUpdate},
+	{"parallel", "beyond the paper: intra-stream parallel kernel", Parallel},
 }
 
 // Find returns the experiment with the given name.

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vdsms/internal/partition"
+	"vdsms/internal/stats"
+)
+
+// Parallel measures the intra-stream parallel matching kernel: the
+// many-query VS1 workload is streamed through engines differing only in
+// Config.Workers, reporting wall-clock, speedup over the serial kernel,
+// match agreement and shard balance. The paper runs everything serially;
+// this experiment documents the scaling headroom of the sharded kernel on
+// the machine at hand (speedups flatten at the physical core count).
+func Parallel(l *Lab) (*stats.Table, error) {
+	dv, err := derive(l.BigVS1(), 4, 5, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	wFrames := dv.cfg.KeyWindowFrames(5)
+	tb := stats.NewTable("Parallel kernel: CPU time vs workers (VS1, bit-seq-index)",
+		"workers", "elapsed", "speedup", "matches", "identical", "balance")
+
+	base, err := runEngine(coreConfig(800, 0.7, wFrames, seqOrder), dv, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		cfg := coreConfig(800, 0.7, wFrames, seqOrder)
+		cfg.Workers = workers
+		res, err := runEngine(cfg, dv, 0)
+		if err != nil {
+			return nil, err
+		}
+		identical := len(res.Matches) == len(base.Matches)
+		if identical {
+			for i := range res.Matches {
+				if res.Matches[i] != base.Matches[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		var total, max int64
+		for _, sh := range res.Stats.Shards {
+			total += sh.Compared
+			if sh.Compared > max {
+				max = sh.Compared
+			}
+		}
+		balance := 1.0
+		if max > 0 {
+			balance = float64(total) / (float64(len(res.Stats.Shards)) * float64(max))
+		}
+		tb.AddRow(workers, res.Elapsed,
+			fmt.Sprintf("%.2fx", base.Elapsed.Seconds()/res.Elapsed.Seconds()),
+			len(res.Matches), identical, fmt.Sprintf("%.2f", balance))
+	}
+	return tb, nil
+}

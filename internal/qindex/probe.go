@@ -34,6 +34,21 @@ type Prober interface {
 	Probe(sk minhash.Sketch, delta float64) ProbeOutput
 }
 
+// ShardOf maps a query id to one of nshards evaluation shards. The mapping
+// is the single source of truth for the parallel matching kernel: probes,
+// candidate state and match ownership all partition queries with it, so a
+// query's entire per-window life happens on one worker.
+func ShardOf(qid, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	s := qid % nshards
+	if s < 0 {
+		s += nshards
+	}
+	return s
+}
+
 // probeElem tracks one in-flight R_L element during the row sweep. The
 // query's identity is captured during the discovery up-walk (which passes
 // through row 0 anyway), and the Less count is maintained incrementally so
@@ -46,13 +61,26 @@ type probeElem struct {
 	sig    *bitsig.Signature
 }
 
-// Probe implements the ProbeIndex algorithm (paper Figure 5). For each row
-// it (1) advances every surviving R_L element via its down link and records
-// the relation of the window's hash value to the query's, (2) prunes
-// elements violating Lemma 2, and (3) binary-searches the row for values
-// equal to sk[i], walking new matches' up links to reconstruct their bits
-// for the earlier rows.
+// Probe implements the ProbeIndex algorithm (paper Figure 5) over every
+// indexed query. It is ProbeShard with a single shard.
 func (x *Index) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
+	return x.ProbeShard(sk, delta, 0, 1)
+}
+
+// ProbeShard probes the index for the queries of one shard (those with
+// ShardOf(qid, nshards) == shard). Every query is owned by exactly one
+// shard, so the union of the nshards outputs equals Probe's output, and the
+// Comparisons counts sum to Probe's count — the probe work partitions
+// instead of being replicated. Each row costs one extra binary search per
+// shard, which is the price of running the shards concurrently over a
+// single shared structure.
+//
+// For each row it (1) advances every surviving owned R_L element via its
+// down link and records the relation of the window's hash value to the
+// query's, (2) prunes elements violating Lemma 2, and (3) binary-searches
+// the row for values equal to sk[i], walking new owned matches' up links to
+// reconstruct their bits for the earlier rows.
+func (x *Index) ProbeShard(sk minhash.Sketch, delta float64, shard, nshards int) ProbeOutput {
 	if len(sk) != x.k {
 		panic("qindex: probe sketch K mismatch")
 	}
@@ -107,9 +135,12 @@ func (x *Index) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
 		}
 		live = kept
 
-		// (3) Find equal values not yet tracked.
+		// (3) Find equal values of owned queries not yet tracked.
 		lo := sort.Search(len(row), func(j int) bool { return row[j].value >= v })
 		for j := lo; j < len(row) && row[j].value == v; j++ {
+			if ShardOf(row[j].qid, nshards) != shard {
+				continue
+			}
 			out.Comparisons++
 			col := int32(j)
 			if occ[col] == stamp {
@@ -161,8 +192,22 @@ type Scan struct {
 
 // Probe implements Prober by brute force.
 func (s *Scan) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
+	po, _ := s.ProbeShard(sk, delta, 0, 1)
+	return po
+}
+
+// ProbeShard scans only the queries of one shard, returning their probe
+// output and the number of full sketch comparisons performed. The shard
+// outputs and scan counts partition Probe's exactly, so the brute-force
+// probe parallelises linearly across workers.
+func (s *Scan) ProbeShard(sk minhash.Sketch, delta float64, shard, nshards int) (ProbeOutput, int) {
 	out := ProbeOutput{Pruned: make(map[int]bool)}
+	scanned := 0
 	for _, q := range s.Queries {
+		if ShardOf(q.ID, nshards) != shard {
+			continue
+		}
+		scanned++
 		sig := bitsig.FromSketches(sk, q.Sketch)
 		out.Comparisons += len(sk)
 		_, eq, _ := sig.Counts()
@@ -175,5 +220,5 @@ func (s *Scan) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
 		}
 		out.Related = append(out.Related, Result{QID: q.ID, Length: q.Length, Sig: sig})
 	}
-	return out
+	return out, scanned
 }

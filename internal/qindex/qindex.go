@@ -29,9 +29,13 @@ type Query struct {
 
 // entry is one triple <value, up, down> of the Hash-Query array. up and
 // down are column positions in the neighbouring rows (-1 at the borders).
+// qid carries the owning query's id in every row (not just row 0) so a
+// sharded probe can decide ownership of a discovered entry before paying
+// for the up-walk that reconstructs its earlier-row bits.
 type entry struct {
 	value    uint64
 	up, down int32
+	qid      int
 }
 
 // colMeta is the row-0 column header: query id and length.
@@ -97,7 +101,7 @@ func Build(queries []Query) (*Index, error) {
 		row := make([]entry, m)
 		colAt := make([]int, m)
 		for col, qi := range order {
-			row[col] = entry{value: queries[qi].Sketch[i], up: -1, down: -1}
+			row[col] = entry{value: queries[qi].Sketch[i], up: -1, down: -1, qid: queries[qi].ID}
 			colAt[qi] = col
 		}
 		idx.rows[i] = row
@@ -211,7 +215,7 @@ func (x *Index) Add(q Query) error {
 				}
 			}
 		}
-		e := entry{value: q.Sketch[i], up: -1, down: -1}
+		e := entry{value: q.Sketch[i], up: -1, down: -1, qid: q.ID}
 		if i > 0 {
 			e.up = int32(insAt[i-1])
 		}

@@ -30,7 +30,8 @@ import (
 // Server is the HTTP copy-detection service. Create with New, mount via
 // Handler.
 type Server struct {
-	root *vdsms.Detector // owns the shared query set; never monitors
+	root    *vdsms.Detector // owns the shared query set; never monitors
+	workers int             // per-stream matching workers (0 = inline)
 
 	mu      sync.Mutex // serialises subscription changes
 	streams atomic.Int64
@@ -44,7 +45,7 @@ func New(cfg vdsms.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{root: det}, nil
+	return &Server{root: det, workers: cfg.Workers}, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -109,14 +110,19 @@ type matchEvent struct {
 	Similarity float64 `json:"similarity"`
 }
 
-// streamSummary is the final NDJSON line of a stream response.
+// streamSummary is the final NDJSON line of a stream response. When the
+// detector runs a parallel matching kernel, shardCompared reports the
+// similarity evaluations each query shard performed — a balanced list
+// means the workers split the stream's matching cost evenly.
 type streamSummary struct {
-	Done    bool   `json:"done"`
-	Stream  string `json:"stream"`
-	Frames  int    `json:"frames"`
-	Windows int    `json:"windows"`
-	Matches int    `json:"matches"`
-	Error   string `json:"error,omitempty"`
+	Done          bool    `json:"done"`
+	Stream        string  `json:"stream"`
+	Frames        int     `json:"frames"`
+	Windows       int     `json:"windows"`
+	Matches       int     `json:"matches"`
+	Workers       int     `json:"workers,omitempty"`
+	ShardCompared []int64 `json:"shardCompared,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // handleStream monitors one uploaded stream, emitting matches as NDJSON
@@ -168,6 +174,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sum := streamSummary{
 		Done: true, Stream: name,
 		Frames: st.Frames, Windows: st.Windows, Matches: st.Matches,
+		Workers: s.workers,
+	}
+	if s.workers > 0 {
+		for _, sh := range st.Shards {
+			sum.ShardCompared = append(sum.ShardCompared, sh.Compared)
+		}
 	}
 	if merr != nil {
 		sum.Error = merr.Error()
@@ -189,6 +201,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"streamsServed":  s.streams.Load(),
 		"matchesEmitted": s.matches.Load(),
 		"framesDecoded":  s.frames.Load(),
+		"workers":        s.workers,
 	})
 }
 

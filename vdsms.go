@@ -71,6 +71,11 @@ type Config struct {
 	// further analysis (delivered via OnMatchClip). This is the paper's
 	// "only store the video sequences which are relevant to the queries".
 	ArchiveSec float64
+	// Workers sets the intra-stream parallelism of the per-window matching
+	// kernel: 0 evaluates windows inline on the monitoring goroutine, N ≥ 1
+	// partitions the queries across N workers per window. Matches and their
+	// order are identical for every value; see core.Config.Workers.
+	Workers int
 }
 
 // DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
@@ -159,6 +164,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 		Order:        core.Geometric,
 		Method:       core.Bit,
 		UseIndex:     !cfg.NoIndex,
+		Workers:      cfg.Workers,
 	}
 	if cfg.Sequential {
 		ecfg.Order = core.Sequential
@@ -302,6 +308,13 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 
 	before := len(d.engine.Matches)
 	scratch := make([]float64, d.pipeline.pt.D)
+	// Decoded cell ids are pushed in batches aligned to basic-window
+	// boundaries: the engine processes each window at exactly the same
+	// stream position as per-frame pushing would (so match latency and
+	// archival state are unchanged) while the per-frame call overhead is
+	// amortised — which matters once the window kernel fans out to workers.
+	room := d.winKeyF - d.engine.PendingFrames()
+	batch := make([]uint64, 0, d.winKeyF)
 	for {
 		dcf, err := pd.Next()
 		if err == io.EOF {
@@ -318,8 +331,15 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 				d.keyBase += trim
 			}
 		}
-		id := d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch)
-		d.engine.PushFrame(id)
+		batch = append(batch, d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch))
+		if len(batch) == room {
+			d.engine.PushFrames(batch)
+			batch = batch[:0]
+			room = d.winKeyF
+		}
+	}
+	if len(batch) > 0 {
+		d.engine.PushFrames(batch)
 	}
 	d.engine.Flush()
 	out := make([]Match, 0, len(d.engine.Matches)-before)
