@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments fuzz clean
+.PHONY: all build test race bench vet fmt experiments fuzz snapshot-fuzz clean
 
 all: build test
 
@@ -30,6 +30,14 @@ fuzz:
 	$(GO) test ./internal/bitio -fuzz FuzzReader -fuzztime 30s
 	$(GO) test ./internal/mpeg -fuzz FuzzPartialDecoder -fuzztime 30s
 	$(GO) test ./internal/mpeg -fuzz FuzzFullDecoder -fuzztime 30s
+
+# Crash-recovery sweep under the race detector: snapshot/restore at every
+# window boundary and worker-count combination must reproduce the
+# uninterrupted run byte for byte.
+snapshot-fuzz:
+	$(GO) test -race -count=1 -run 'TestCrashPointSweep|TestExportStateCanonical|TestRestoreRejects' ./internal/core
+	$(GO) test -race -count=1 -run 'TestResume|TestQueryChurn|TestCheckpoint|TestWAL|TestHeaderGolden' ./...
+	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/server
 
 clean:
 	$(GO) clean ./...

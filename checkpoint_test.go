@@ -1,0 +1,245 @@
+package vdsms
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// composeSeg builds one encoded stream segment from clips (all-intra, so
+// key-frame counts are exact).
+func composeSeg(t *testing.T, clips ...[]byte) []byte {
+	t.Helper()
+	rs := make([]io.Reader, len(clips))
+	for i, c := range clips {
+		rs[i] = bytes.NewReader(c)
+	}
+	var buf bytes.Buffer
+	if err := ComposeStream(&buf, 80, 1, rs...); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeContinuesExactly is the facade-level recovery guarantee: a
+// monitor that crashes after consuming a segment — with its state only in
+// the checkpoint directory's WAL — resumes via WAL replay and finishes the
+// stream with exactly the matches and stats of an uninterrupted run.
+func TestResumeContinuesExactly(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+
+	query := clip(t, 11, 20)
+	// Segment lengths are multiples of the 5 s basic window so no partial
+	// window is flushed at the segment boundary: the crash run's state then
+	// lives purely in the WAL (the flush path would fold it into a
+	// checkpoint and bypass replay).
+	seg1 := composeSeg(t, clip(t, 110, 30), query) // copy at [30s, 50s)
+	seg2 := composeSeg(t, clip(t, 111, 30))
+
+	// Reference: uninterrupted run without checkpointing.
+	refCfg := cfg
+	refCfg.CheckpointDir = ""
+	ref, err := NewDetector(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	refM1, err := ref.Monitor(bytes.NewReader(seg1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refM2, err := ref.Monitor(bytes.NewReader(seg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refM1) == 0 {
+		t.Fatal("reference run found no matches; the test would prove nothing")
+	}
+
+	// Crash run: consume segment 1 with durability on, then abandon the
+	// detector without any shutdown courtesy.
+	det1, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det1.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := det1.Monitor(bytes.NewReader(seg1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, refM1) {
+		t.Fatalf("pre-crash matches diverge from reference:\nwant %+v\ngot  %+v", refM1, m1)
+	}
+	det1 = nil // crash
+
+	// Recovery: the checkpoint holds frame 0 state (query subscription);
+	// every segment-1 frame comes back through WAL replay.
+	det2, found, err := Resume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("Resume found no checkpoint")
+	}
+	if !reflect.DeepEqual(det2.Replayed, refM1) {
+		t.Fatalf("replayed matches diverge from the crashed run:\nwant %+v\ngot  %+v", refM1, det2.Replayed)
+	}
+	m2, err := det2.Monitor(bytes.NewReader(seg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2, refM2) {
+		t.Fatalf("post-resume matches diverge from reference:\nwant %+v\ngot  %+v", refM2, m2)
+	}
+	if !reflect.DeepEqual(det2.Stats().Totals(), ref.Stats().Totals()) {
+		t.Fatalf("post-resume stats totals diverge:\nwant %+v\ngot  %+v",
+			ref.Stats().Totals(), det2.Stats().Totals())
+	}
+	if err := det2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeAcrossWorkerCounts: a checkpoint taken at one worker count
+// restores at another — parallelism is a runtime choice, not state.
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+	cfg.Workers = 4
+
+	query := clip(t, 21, 20)
+	seg1 := composeSeg(t, clip(t, 210, 30), query)
+	seg2 := composeSeg(t, clip(t, 211, 30))
+
+	refCfg := cfg
+	refCfg.CheckpointDir = ""
+	refCfg.Workers = 0
+	ref, err := NewDetector(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	refM1, _ := ref.Monitor(bytes.NewReader(seg1))
+	refM2, _ := ref.Monitor(bytes.NewReader(seg2))
+
+	det1, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det1.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det1.Monitor(bytes.NewReader(seg1)); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := cfg
+	rcfg.Workers = 0
+	det2, _, err := Resume(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(det2.Replayed, refM1) {
+		t.Fatalf("replayed matches diverge across worker counts:\nwant %+v\ngot  %+v", refM1, det2.Replayed)
+	}
+	m2, err := det2.Monitor(bytes.NewReader(seg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2, refM2) {
+		t.Fatalf("post-resume matches diverge across worker counts:\nwant %+v\ngot  %+v", refM2, m2)
+	}
+}
+
+// TestResumeRejectsConfigDrift pins the loud-failure contract at the
+// facade: a drifted detection parameter or pipeline parameter refuses to
+// resume, naming the field.
+func TestResumeRejectsConfigDrift(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(clip(t, 31, 20))); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := cfg
+	bad.Delta = 0.9
+	if _, _, err := Resume(bad); err == nil || !strings.Contains(err.Error(), "Delta") {
+		t.Errorf("Delta drift: err = %v, want mention of Delta", err)
+	}
+	bad = cfg
+	bad.U = 8
+	if _, _, err := Resume(bad); err == nil || !strings.Contains(err.Error(), "U") {
+		t.Errorf("U drift: err = %v, want mention of U", err)
+	}
+	// The unchanged configuration resumes.
+	if _, found, err := Resume(cfg); err != nil || !found {
+		t.Errorf("clean resume failed: found=%v err=%v", found, err)
+	}
+}
+
+// TestResumeFreshDirectory: Resume on an empty directory is a clean start
+// that arms checkpointing.
+func TestResumeFreshDirectory(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+	d, found, err := Resume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("Resume reported a checkpoint in an empty directory")
+	}
+	if len(d.Replayed) != 0 {
+		t.Errorf("fresh resume replayed %d matches", len(d.Replayed))
+	}
+	if _, err := os.Stat(filepath.Join(cfg.CheckpointDir, CheckpointFileName)); err != nil {
+		t.Errorf("fresh resume left no checkpoint: %v", err)
+	}
+	if _, found, err = Resume(cfg); err != nil || !found {
+		t.Errorf("second resume: found=%v err=%v", found, err)
+	}
+}
+
+// TestQueryChurnIsDurable: AddQuery/RemoveQuery checkpoint immediately
+// (subscriptions are not in the WAL), so a crash right after churn still
+// resumes with the correct query set.
+func TestQueryChurnIsDurable(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(clip(t, 41, 20))); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(2, bytes.NewReader(clip(t, 42, 20))); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+	// Crash; resume must see exactly query 2.
+	d2, _, err := Resume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := d2.QueryIDs(); len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("resumed query set = %v, want [2]", ids)
+	}
+}

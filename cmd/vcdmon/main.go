@@ -10,6 +10,12 @@
 // choose explicit ids (e.g. -q 7=ad.mvc). Matches are printed as:
 //
 //	MATCH query=<id> at=<sec> start=<sec> end=<sec> sim=<value>
+//
+// With -checkpoint-dir the monitor journals every frame and periodically
+// checkpoints its full matching state; after a crash, rerunning with
+// -resume restores that state, replays the frame log, and continues the
+// stream exactly where it left off (replayed matches are reported with a
+// REPLAY prefix — the crashed run may already have printed them).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vdsms"
 )
@@ -40,10 +47,18 @@ func main() {
 	archiveDir := flag.String("archive-dir", "", "save matched stream segments as clips in this directory")
 	archiveSec := flag.Float64("archive-sec", 120, "seconds of stream retained for archiving")
 	workers := flag.Int("workers", 0, "matching workers per window (0 = inline serial kernel)")
+	ckptDir := flag.String("checkpoint-dir", "", "journal frames and checkpoint matching state in this directory")
+	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "minimum interval between periodic checkpoints")
+	resume := flag.Bool("resume", false, "restore state from -checkpoint-dir and replay the frame log before monitoring")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
 	flag.Parse()
 
-	if flag.NArg() != 1 || (len(qs) == 0 && *loadSet == "") {
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "vcdmon: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+
+	if flag.NArg() != 1 || (len(qs) == 0 && *loadSet == "" && !*resume) {
 		fmt.Fprintln(os.Stderr, "usage: vcdmon [flags] -q query.mvc ... <stream.mvc|->")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -58,9 +73,26 @@ func main() {
 	if *archiveDir != "" {
 		cfg.ArchiveSec = *archiveSec
 	}
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
 	var det *vdsms.Detector
 	var err error
-	if *loadSet != "" {
+	if *resume {
+		var found bool
+		det, found, err = vdsms.Resume(cfg)
+		if err == nil {
+			if found {
+				fmt.Fprintf(os.Stderr, "resumed %d queries from %s (%d matches replayed)\n",
+					det.NumQueries(), *ckptDir, len(det.Replayed))
+				for _, m := range det.Replayed {
+					fmt.Printf("REPLAY MATCH query=%d at=%.1fs start=%.1fs end=%.1fs sim=%.3f\n",
+						m.QueryID, m.DetectedAt.Seconds(), m.Start.Seconds(), m.End.Seconds(), m.Similarity)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "no checkpoint in %s; starting fresh\n", *ckptDir)
+			}
+		}
+	} else if *loadSet != "" {
 		f, err2 := os.Open(*loadSet)
 		if err2 != nil {
 			fatal(err2)
@@ -77,6 +109,10 @@ func main() {
 		fatal(err)
 	}
 
+	have := make(map[int]bool)
+	for _, id := range det.QueryIDs() {
+		have[id] = true
+	}
 	for i, spec := range qs {
 		id := i + 1
 		path := spec
@@ -84,6 +120,10 @@ func main() {
 			if v, err := strconv.Atoi(spec[:eq]); err == nil {
 				id, path = v, spec[eq+1:]
 			}
+		}
+		if have[id] {
+			fmt.Fprintf(os.Stderr, "query %d already subscribed (restored); skipping %s\n", id, path)
+			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {
@@ -143,6 +183,16 @@ func main() {
 	}
 	if _, err := det.Monitor(stream); err != nil {
 		fatal(err)
+	}
+	if det.CheckpointingEnabled() {
+		// Leave a clean single-checkpoint handoff for the next -resume.
+		if err := det.Checkpoint(); err != nil {
+			fatal(err)
+		}
+		if err := det.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "final checkpoint written to %s\n", *ckptDir)
 	}
 	st := det.Stats()
 	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",

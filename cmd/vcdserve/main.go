@@ -1,6 +1,7 @@
 // Command vcdserve runs the copy-detection HTTP service.
 //
 //	vcdserve [-addr :8654] [-delta 0.7] [-k 800] [-window 5] [-keyfps 2] [-workers 0]
+//	         [-checkpoint-dir state/] [-checkpoint-every 30s]
 //
 // Endpoints:
 //
@@ -8,7 +9,13 @@
 //	DELETE /queries/{id}                      unsubscribe
 //	GET    /queries                           subscription count
 //	POST   /streams/{name}  body: MVC1 stream monitor; matches stream back as NDJSON
-//	GET    /stats                             service counters
+//	GET    /stats                             service counters (incl. per-shard work)
+//	POST   /snapshot                          checkpoint service state now
+//
+// With -checkpoint-dir the service persists its subscription state: it
+// restores from an existing checkpoint on boot, checkpoints on every
+// subscription change and on POST /snapshot, and on SIGINT/SIGTERM drains
+// in-flight streams, writes a final checkpoint and exits 0.
 //
 // Example session (with vcdgen-produced files):
 //
@@ -17,11 +24,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vdsms"
 	"vdsms/internal/server"
@@ -34,6 +46,9 @@ func main() {
 	window := flag.Float64("window", 5, "basic window (seconds)")
 	keyFPS := flag.Float64("keyfps", 2, "expected key-frame rate of monitored streams")
 	workers := flag.Int("workers", 0, "matching workers per stream window (0 = inline serial kernel)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist service state in this directory (restore on boot)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
+	drain := flag.Duration("drain", 30*time.Second, "in-flight stream drain timeout on shutdown")
 	flag.Parse()
 
 	cfg := vdsms.DefaultConfig()
@@ -42,14 +57,46 @@ func main() {
 	cfg.WindowSec = *window
 	cfg.KeyFPS = *keyFPS
 	cfg.Workers = *workers
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
 
 	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcdserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("vcdserve listening on %s (K=%d δ=%.2f w=%.0fs)", *addr, cfg.K, cfg.Delta, cfg.WindowSec)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if srv.Restored() {
+		log.Printf("restored %d queries from checkpoint in %s", srv.NumQueries(), *ckptDir)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("vcdserve listening on %s (K=%d δ=%.2f w=%.0fs)", *addr, cfg.K, cfg.Delta, cfg.WindowSec)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight streams, persist.
+	log.Printf("shutting down: draining in-flight streams (up to %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vcdserve: shutdown: %v", err)
+	}
+	if *ckptDir != "" {
+		if err := srv.Checkpoint(); err != nil {
+			log.Printf("vcdserve: final checkpoint: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("final checkpoint written to %s", *ckptDir)
 	}
 }

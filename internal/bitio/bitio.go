@@ -91,6 +91,13 @@ func (w *Writer) Bytes() []byte {
 	return w.buf
 }
 
+// WriteBytes byte-aligns the stream and appends p verbatim — the fast path
+// for bulk payloads (sketch words, signature planes) inside a bit stream.
+func (w *Writer) WriteBytes(p []byte) {
+	w.Align()
+	w.buf = append(w.buf, p...)
+}
+
 // Reset discards all written data, retaining the allocated buffer.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
@@ -207,6 +214,23 @@ func (r *Reader) SkipBits(n uint) error {
 		}
 	}
 	return nil
+}
+
+// ReadBytes aligns to a byte boundary and returns the next n bytes. The
+// returned slice aliases the Reader's input; callers that retain it must
+// copy. Inverse of Writer.WriteBytes.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitio: ReadBytes count %d negative", n)
+	}
+	r.Align()
+	if r.pos+n > len(r.data) {
+		r.pos = len(r.data)
+		return nil, ErrUnexpectedEOF
+	}
+	p := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return p, nil
 }
 
 // SkipBytes discards n whole bytes after aligning to a byte boundary.

@@ -1,0 +1,354 @@
+// Checkpoint/restore glue between the live engine and the durable format
+// of internal/snapshot. Export canonicalises the per-shard partitions —
+// shard slots merged, every list sorted — so identical logical state
+// serialises to identical bytes regardless of the worker count that
+// produced it, and restore re-partitions by qindex.ShardOf at the new
+// worker count. A checkpoint taken at Workers=8 restores at Workers=0 and
+// vice versa, and the restored engine's subsequent matches and stats are
+// byte-identical to an uninterrupted run (see TestCrashPointSweep).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vdsms/internal/bitsig"
+	"vdsms/internal/minhash"
+	"vdsms/internal/qindex"
+	"vdsms/internal/snapshot"
+)
+
+// snapshotConfig maps the detection-relevant configuration into the durable
+// form. Workers is deliberately dropped: parallelism is a runtime choice,
+// not engine state.
+func (c Config) snapshotConfig() snapshot.Config {
+	return snapshot.Config{
+		K:            c.K,
+		Seed:         c.Seed,
+		Delta:        c.Delta,
+		Lambda:       c.Lambda,
+		WindowFrames: c.WindowFrames,
+		Order:        uint8(c.Order),
+		Method:       uint8(c.Method),
+		UseIndex:     c.UseIndex,
+		DisablePrune: c.DisablePrune,
+	}
+}
+
+// Fingerprint returns the compatibility fingerprint of this configuration
+// under the given pipeline meta — the value stamped into checkpoint and
+// WAL headers.
+func (c Config) Fingerprint(m snapshot.Meta) uint64 {
+	return snapshot.Fingerprint(m, c.snapshotConfig())
+}
+
+// exportQueries returns the subscribed queries in insertion order, the
+// order restore re-inserts them so the rebuilt Hash-Query index passes
+// through the same construction sequence.
+func (qs *QuerySet) exportQueries() []snapshot.Query {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	out := make([]snapshot.Query, 0, len(qs.scan.Queries))
+	for _, iq := range qs.scan.Queries {
+		out = append(out, snapshot.Query{
+			ID:     iq.ID,
+			Frames: iq.Length,
+			Sketch: append([]uint64(nil), iq.Sketch...),
+		})
+	}
+	return out
+}
+
+// addSketched inserts an already-sketched query, the restore-side inverse
+// of exportQueries.
+func (qs *QuerySet) addSketched(id, frames int, sk minhash.Sketch) error {
+	if frames <= 0 {
+		return fmt.Errorf("core: restored query %d has non-positive length", id)
+	}
+	if len(sk) != qs.k {
+		return fmt.Errorf("core: restored query %d sketch has %d values, engine K=%d", id, len(sk), qs.k)
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if _, dup := qs.queries[id]; dup {
+		return fmt.Errorf("core: restored query id %d duplicated", id)
+	}
+	return qs.insert(&queryInfo{id: id, frames: frames, sketch: sk})
+}
+
+// ExportState captures the engine's complete matching state in canonical
+// form. The engine must be quiescent — between PushFrame/PushFrames calls —
+// which is the only state an Engine is ever observed in by its caller: the
+// PR-1 worker shards live only inside processWindow, so there is nothing
+// further to drain.
+func (e *Engine) ExportState() *snapshot.EngineState {
+	st := &snapshot.EngineState{
+		Config: e.cfg.snapshotConfig(),
+		Frame:  e.frame,
+		CurIDs: append([]uint64(nil), e.curIDs...),
+		Stats:  exportStats(e.stats),
+	}
+	st.Queries = e.qs.exportQueries()
+
+	for _, c := range e.seq {
+		sc := snapshot.SeqCandidate{
+			StartFrame: c.startFrame,
+			Windows:    c.windows,
+			Sigs:       mergeSigSlots(c.sigs),
+			Related:    mergeSetSlots(c.related),
+			Reported:   mergeSetSlots(c.reported),
+		}
+		if c.sketch != nil {
+			sc.Sketch = append([]uint64(nil), c.sketch...)
+		}
+		st.Seq = append(st.Seq, sc)
+	}
+
+	// Geometric state: bucket boundaries are query-independent and the
+	// per-shard replicas congruent, so the structure comes from shard 0 and
+	// the per-query maps are unioned across replicas.
+	spine := e.shards[0]
+	for i, b := range spine.geo {
+		gb := snapshot.GeoBucket{
+			StartFrame: b.startFrame,
+			EndFrame:   b.endFrame,
+			Windows:    b.windows,
+		}
+		if b.sketch != nil {
+			gb.Sketch = append([]uint64(nil), b.sketch...)
+		}
+		var sigSlots []map[int]*bitsig.Signature
+		var relSlots []map[int]bool
+		for _, s := range e.shards {
+			sigSlots = append(sigSlots, s.geo[i].sigs)
+			relSlots = append(relSlots, s.geo[i].related)
+		}
+		gb.Sigs = mergeSigSlots(sigSlots)
+		gb.Related = mergeSetSlots(relSlots)
+		st.Geo = append(st.Geo, gb)
+	}
+	for _, s := range e.shards {
+		for k := range s.geoReported {
+			st.GeoReported = append(st.GeoReported, snapshot.GeoReport{QID: k.qid, Start: k.start})
+		}
+	}
+	sort.Slice(st.GeoReported, func(i, j int) bool {
+		a, b := st.GeoReported[i], st.GeoReported[j]
+		if a.QID != b.QID {
+			return a.QID < b.QID
+		}
+		return a.Start < b.Start
+	})
+	return st
+}
+
+// RestoreEngine rebuilds an engine from exported state under cfg, which
+// must be detection-compatible with the state's recorded configuration
+// (same fingerprint fields; Workers is free to differ). The restored
+// engine's query partitions are redistributed for cfg.Workers.
+func RestoreEngine(cfg Config, st *snapshot.EngineState) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := snapshot.CompatibilityError(snapshot.Meta{}, snapshot.Meta{}, st.Config, cfg.snapshotConfig()); err != nil {
+		return nil, err
+	}
+	if len(st.CurIDs) >= cfg.WindowFrames {
+		return nil, fmt.Errorf("core: restored window holds %d frames but w=%d (a full window is never checkpointed unprocessed)",
+			len(st.CurIDs), cfg.WindowFrames)
+	}
+	if st.Frame < len(st.CurIDs) {
+		return nil, fmt.Errorf("core: restored frame position %d precedes its own partial window (%d frames)",
+			st.Frame, len(st.CurIDs))
+	}
+
+	qs, err := NewQuerySet(cfg.K, cfg.Seed, cfg.UseIndex)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range st.Queries {
+		if err := qs.addSketched(q.ID, q.Frames, minhash.Sketch(append([]uint64(nil), q.Sketch...))); err != nil {
+			return nil, err
+		}
+	}
+
+	e := newEngine(cfg, qs)
+	e.frame = st.Frame
+	e.curIDs = append([]uint64(nil), st.CurIDs...)
+	e.stats = restoreStats(st.Stats, e.nshards)
+
+	planeWords := (cfg.K + 63) / 64
+	for _, sc := range st.Seq {
+		c := &seqCandidate{
+			startFrame: sc.StartFrame,
+			windows:    sc.Windows,
+			reported:   splitSetSlots(sc.Reported, e.nshards),
+		}
+		if sc.Sketch != nil {
+			c.sketch = minhash.Sketch(append([]uint64(nil), sc.Sketch...))
+		}
+		if cfg.Method == Bit {
+			if c.sigs, err = splitSigSlots(sc.Sigs, e.nshards, cfg.K, planeWords); err != nil {
+				return nil, err
+			}
+		} else {
+			c.related = splitSetSlots(sc.Related, e.nshards)
+		}
+		e.seq = append(e.seq, c)
+	}
+
+	for _, gb := range st.Geo {
+		var sigSlots []map[int]*bitsig.Signature
+		var relSlots []map[int]bool
+		if cfg.Method == Bit {
+			if sigSlots, err = splitSigSlots(gb.Sigs, e.nshards, cfg.K, planeWords); err != nil {
+				return nil, err
+			}
+		} else {
+			relSlots = splitSetSlots(gb.Related, e.nshards)
+		}
+		for si, s := range e.shards {
+			b := &geoBucket{
+				startFrame: gb.StartFrame,
+				endFrame:   gb.EndFrame,
+				windows:    gb.Windows,
+			}
+			// Each replica owns its own sketch copy, as the live merge path
+			// would have produced.
+			if gb.Sketch != nil {
+				b.sketch = minhash.Sketch(append([]uint64(nil), gb.Sketch...))
+			}
+			if cfg.Method == Bit {
+				b.sigs = sigSlots[si]
+			} else {
+				b.related = relSlots[si]
+			}
+			s.geo = append(s.geo, b)
+		}
+	}
+	for _, s := range e.shards {
+		s.geoReported = make(map[geoKey]bool)
+	}
+	for _, r := range st.GeoReported {
+		s := e.shards[qindex.ShardOf(r.QID, e.nshards)]
+		s.geoReported[geoKey{qid: r.QID, start: r.Start}] = true
+	}
+	return e, nil
+}
+
+// exportStats maps live counters to the durable form. The per-shard
+// breakdown is folded into a single entry: its spread is a property of the
+// checkpointing run's worker count, and canonical checkpoints must be
+// byte-identical across worker counts.
+func exportStats(s Stats) snapshot.Stats {
+	out := snapshot.Stats{
+		Frames: s.Frames, Windows: s.Windows,
+		SketchCombines: s.SketchCombines, SketchCompares: s.SketchCompares,
+		SigOrs: s.SigOrs, SigTests: s.SigTests,
+		ProbeComparisons: s.ProbeComparisons,
+		SignatureSum:     s.SignatureSum, CandidateSum: s.CandidateSum,
+		Matches: s.Matches,
+	}
+	if len(s.Shards) > 0 {
+		var fold snapshot.ShardStats
+		for _, sh := range s.Shards {
+			fold.Probed += sh.Probed
+			fold.Pruned += sh.Pruned
+			fold.Compared += sh.Compared
+		}
+		out.Shards = []snapshot.ShardStats{fold}
+	}
+	return out
+}
+
+// restoreStats maps durable counters back. The per-shard breakdown carries
+// over 1:1 when the worker count matches the checkpointing run; otherwise
+// it is folded into shard 0 — the breakdown is diagnostic, and folding
+// keeps the Totals() invariant exact across worker counts.
+func restoreStats(s snapshot.Stats, nshards int) Stats {
+	out := Stats{
+		Frames: s.Frames, Windows: s.Windows,
+		SketchCombines: s.SketchCombines, SketchCompares: s.SketchCompares,
+		SigOrs: s.SigOrs, SigTests: s.SigTests,
+		ProbeComparisons: s.ProbeComparisons,
+		SignatureSum:     s.SignatureSum, CandidateSum: s.CandidateSum,
+		Matches: s.Matches,
+		Shards:  make([]ShardStats, nshards),
+	}
+	if len(s.Shards) == nshards {
+		for i, sh := range s.Shards {
+			out.Shards[i] = ShardStats{Probed: sh.Probed, Pruned: sh.Pruned, Compared: sh.Compared}
+		}
+		return out
+	}
+	for _, sh := range s.Shards {
+		out.Shards[0].Probed += sh.Probed
+		out.Shards[0].Pruned += sh.Pruned
+		out.Shards[0].Compared += sh.Compared
+	}
+	return out
+}
+
+// mergeSigSlots flattens per-shard signature maps into one qid-ascending
+// slice with copied planes.
+func mergeSigSlots(slots []map[int]*bitsig.Signature) []snapshot.Signature {
+	var out []snapshot.Signature
+	for _, m := range slots {
+		for qid, sig := range m {
+			out = append(out, snapshot.Signature{
+				QID: qid,
+				Lo:  append([]uint64(nil), sig.Lo...),
+				Hi:  append([]uint64(nil), sig.Hi...),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QID < out[j].QID })
+	return out
+}
+
+// splitSigSlots redistributes canonical signatures into per-shard maps by
+// ShardOf. Every slot is non-nil: the shard kernels mutate their slot maps
+// in place.
+func splitSigSlots(sigs []snapshot.Signature, nshards, k, planeWords int) ([]map[int]*bitsig.Signature, error) {
+	slots := make([]map[int]*bitsig.Signature, nshards)
+	for i := range slots {
+		slots[i] = make(map[int]*bitsig.Signature)
+	}
+	for _, s := range sigs {
+		if len(s.Lo) != planeWords || len(s.Hi) != planeWords {
+			return nil, fmt.Errorf("core: restored signature for query %d has %d+%d plane words, K=%d needs %d",
+				s.QID, len(s.Lo), len(s.Hi), k, planeWords)
+		}
+		slots[qindex.ShardOf(s.QID, nshards)][s.QID] = &bitsig.Signature{
+			K:  k,
+			Lo: append([]uint64(nil), s.Lo...),
+			Hi: append([]uint64(nil), s.Hi...),
+		}
+	}
+	return slots, nil
+}
+
+// mergeSetSlots flattens per-shard query-id sets into one ascending slice.
+func mergeSetSlots(slots []map[int]bool) []int {
+	var out []int
+	for _, m := range slots {
+		for qid := range m {
+			out = append(out, qid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// splitSetSlots redistributes a canonical id list into per-shard non-nil
+// sets by ShardOf.
+func splitSetSlots(ids []int, nshards int) []map[int]bool {
+	slots := make([]map[int]bool, nshards)
+	for i := range slots {
+		slots[i] = make(map[int]bool)
+	}
+	for _, qid := range ids {
+		slots[qindex.ShardOf(qid, nshards)][qid] = true
+	}
+	return slots
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vdsms/internal/snapshot"
+)
+
+// sweepScript builds a deterministic workload for one engine variant, small
+// enough that the sweep below can checkpoint at every window boundary.
+func sweepScript(seed int64, order Order, method Method, useIndex bool) *fuzzScript {
+	rng := rand.New(rand.NewSource(seed))
+	fs := &fuzzScript{
+		cfg: Config{
+			K:            64,
+			Seed:         rng.Int63(),
+			Delta:        0.4,
+			Lambda:       2,
+			WindowFrames: 7,
+			Order:        order,
+			Method:       method,
+			UseIndex:     useIndex,
+		},
+		removeAt: map[int]int{},
+	}
+	nq := 4
+	for q := 1; q <= nq; q++ {
+		fs.queries = append(fs.queries, idStream(rng, rng.Intn(4), rng.Intn(40)+10))
+	}
+	frames := 200
+	for i := 0; i < frames; i++ {
+		fs.frames = append(fs.frames, uint64(rng.Intn(4))*100000+uint64(rng.Intn(30)))
+	}
+	// Splice true copies of query material into the stream so the sweep
+	// crosses real candidate growth and match reports, not just empty state.
+	for q, at := range []int{15, 60, 120, 160} {
+		copy(fs.frames[at:], fs.queries[q%nq])
+	}
+	// One mid-stream removal so the sweep crosses subscription churn.
+	fs.removeAt[frames/2] = 2
+	return fs
+}
+
+// runSplit replays fs with a crash at frame index cut: the first engine
+// (checkpointWorkers) consumes frames[:cut] and is checkpointed through a
+// full serialise/deserialise cycle; the second engine (restoreWorkers)
+// resumes from the decoded state and consumes the rest. It returns the
+// concatenated matches and the final stats.
+func runSplit(t *testing.T, fs *fuzzScript, cut, checkpointWorkers, restoreWorkers int) ([]Match, Stats) {
+	t.Helper()
+	cfg := fs.cfg
+	cfg.Workers = checkpointWorkers
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ids := range fs.queries {
+		if err := e.AddQuery(i+1, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := map[int]bool{}
+	push := func(e *Engine, from, to int) {
+		for i := from; i < to; i++ {
+			e.PushFrame(fs.frames[i])
+			if victim, ok := fs.removeAt[i]; ok && !removed[victim] {
+				removed[victim] = true
+				if err := e.RemoveQuery(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	push(e, 0, cut)
+
+	// Serialise the exported state through the real codec so the sweep also
+	// exercises the on-disk format, not just the in-memory conversion.
+	var buf bytes.Buffer
+	ck := &snapshot.Checkpoint{Engine: *e.ExportState()}
+	if err := snapshot.Write(&buf, ck); err != nil {
+		t.Fatalf("cut %d: %v", cut, err)
+	}
+	dec, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("cut %d: %v", cut, err)
+	}
+	cfg.Workers = restoreWorkers
+	e2, err := RestoreEngine(cfg, &dec.Engine)
+	if err != nil {
+		t.Fatalf("cut %d: restore: %v", cut, err)
+	}
+	push(e2, cut, len(fs.frames))
+	e2.Flush()
+	return append(append([]Match(nil), e.Matches...), e2.Matches...), e2.Stats()
+}
+
+// TestCrashPointSweep is the headline determinism guarantee of the
+// checkpoint subsystem: for every engine variant, snapshotting at every
+// window boundary (and mid-window) and restoring — at the same or a
+// different worker count — yields exactly the matches and stats totals of
+// an uninterrupted run.
+func TestCrashPointSweep(t *testing.T) {
+	variants := []struct {
+		name     string
+		order    Order
+		method   Method
+		useIndex bool
+	}{
+		{"seq-bit-index", Sequential, Bit, true},
+		{"seq-sketch-noindex", Sequential, Sketch, false},
+		{"geo-bit-noindex", Geometric, Bit, false},
+		{"geo-sketch-index", Geometric, Sketch, true},
+	}
+	workerCombos := [][2]int{{0, 0}, {4, 4}, {0, 4}, {4, 0}}
+	for vi, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			fs := sweepScript(int64(7000+vi), v.order, v.method, v.useIndex)
+			wantM, wantS := fs.replay(t, 0)
+			if len(wantM) == 0 {
+				t.Fatalf("script produced no matches; sweep would prove nothing")
+			}
+			var cuts []int
+			for f := 0; f <= len(fs.frames); f += fs.cfg.WindowFrames {
+				cuts = append(cuts, f)
+			}
+			// Mid-window cuts: the checkpoint carries a partial window.
+			cuts = append(cuts, 3, len(fs.frames)/2+2, len(fs.frames)-1)
+			for _, combo := range workerCombos {
+				for _, cut := range cuts {
+					gotM, gotS := runSplit(t, fs, cut, combo[0], combo[1])
+					if !reflect.DeepEqual(gotM, wantM) {
+						t.Fatalf("cut %d workers %d→%d: matches diverge\nwant %+v\ngot  %+v",
+							cut, combo[0], combo[1], wantM, gotM)
+					}
+					if !reflect.DeepEqual(gotS.Totals(), wantS.Totals()) {
+						t.Fatalf("cut %d workers %d→%d: stats totals diverge\nwant %+v\ngot  %+v",
+							cut, combo[0], combo[1], wantS.Totals(), gotS.Totals())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsIncompatibleConfig pins the loud-failure contract: a
+// checkpoint restored under a drifted configuration is refused with an
+// error naming the mismatched fields.
+func TestRestoreRejectsIncompatibleConfig(t *testing.T) {
+	fs := sweepScript(1, Sequential, Bit, true)
+	e, err := NewEngine(fs.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ids := range fs.queries {
+		if err := e.AddQuery(i+1, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range fs.frames[:50] {
+		e.PushFrame(id)
+	}
+	st := e.ExportState()
+
+	bad := fs.cfg
+	bad.Delta = 0.9
+	if _, err := RestoreEngine(bad, st); err == nil || !strings.Contains(err.Error(), "Delta") {
+		t.Errorf("Delta drift: err = %v, want mention of Delta", err)
+	}
+	bad = fs.cfg
+	bad.Seed++
+	if _, err := RestoreEngine(bad, st); err == nil || !strings.Contains(err.Error(), "Seed") {
+		t.Errorf("Seed drift: err = %v, want mention of Seed", err)
+	}
+	// Workers is a runtime choice, never a compatibility wall.
+	ok := fs.cfg
+	ok.Workers = 3
+	if _, err := RestoreEngine(ok, st); err != nil {
+		t.Errorf("Workers change rejected: %v", err)
+	}
+}
+
+// TestExportStateCanonical pins the cross-worker byte identity that makes
+// checkpoints portable: the same logical state exported from engines at
+// different worker counts serialises to identical bytes.
+func TestExportStateCanonical(t *testing.T) {
+	fs := sweepScript(2, Geometric, Bit, false)
+	for _, frames := range []int{49, 140, 200} {
+		var blobs [][]byte
+		for _, workers := range []int{0, 2, 5} {
+			cfg := fs.cfg
+			cfg.Workers = workers
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ids := range fs.queries {
+				if err := e.AddQuery(i+1, ids); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range fs.frames[:frames] {
+				e.PushFrame(id)
+			}
+			var buf bytes.Buffer
+			if err := snapshot.Write(&buf, &snapshot.Checkpoint{Engine: *e.ExportState()}); err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, buf.Bytes())
+		}
+		for i := 1; i < len(blobs); i++ {
+			if !bytes.Equal(blobs[0], blobs[i]) {
+				t.Errorf("frames=%d: checkpoint bytes differ between worker counts", frames)
+			}
+		}
+	}
+}

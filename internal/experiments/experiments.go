@@ -299,6 +299,7 @@ var Registry = []Experiment{
 	{"ablation-lambda", "Section IV.A tempo scaling", AblationLambda},
 	{"ablation-index-update", "Section V.C.1 online maintenance", AblationIndexUpdate},
 	{"parallel", "beyond the paper: intra-stream parallel kernel", Parallel},
+	{"recovery", "beyond the paper: checkpoint/restore + WAL replay", Recovery},
 }
 
 // Find returns the experiment with the given name.

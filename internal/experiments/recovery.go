@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vdsms/internal/core"
+	"vdsms/internal/partition"
+	"vdsms/internal/snapshot"
+	"vdsms/internal/stats"
+)
+
+// Recovery measures the checkpoint/restore subsystem (beyond the paper):
+// the VS1 stream is cut at several points; at each cut the engine state is
+// serialized and restored, the remaining frames are journaled to and
+// replayed from a WAL, and the recovered run must finish with exactly the
+// matches of an uninterrupted one. Columns report checkpoint size and
+// write/restore latency, WAL append throughput (with per-batch fsync, the
+// monitor's durability path), and replay throughput — the two rates that
+// bound recovery time after a crash.
+func Recovery(l *Lab) (*stats.Table, error) {
+	dv, err := derive(l.VS1(), 4, 5, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	wFrames := dv.cfg.KeyWindowFrames(5)
+	cfg := coreConfig(800, 0.7, wFrames, seqOrder)
+	meta := snapshot.Meta{U: 4, D: 5, KeyFPS: dv.cfg.KeyFPS}
+
+	// Reference: one uninterrupted run.
+	base, err := runEngine(cfg, dv, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "vdsms-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	tb := stats.NewTable("Recovery: checkpoint cost and WAL replay throughput (VS1, bit-seq-index)",
+		"cut", "ckpt-bytes", "write", "restore", "wal-frames", "append-fps", "replay-fps", "identical")
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		cut := int(frac * float64(len(dv.streamIDs)))
+		res, err := newSubscribedEngine(cfg, dv)
+		if err != nil {
+			return nil, err
+		}
+		res.PushFrames(dv.streamIDs[:cut])
+
+		// Checkpoint: serialize the full matching state.
+		var buf bytes.Buffer
+		var werr error
+		writeT := stats.Time(func() {
+			werr = snapshot.Write(&buf, &snapshot.Checkpoint{Meta: meta, Engine: *res.ExportState()})
+		})
+		if werr != nil {
+			return nil, werr
+		}
+
+		// Restore into a fresh engine.
+		var restored *core.Engine
+		var rerr error
+		restoreT := stats.Time(func() {
+			var ck *snapshot.Checkpoint
+			if ck, rerr = snapshot.Read(bytes.NewReader(buf.Bytes())); rerr == nil {
+				restored, rerr = core.RestoreEngine(cfg, &ck.Engine)
+			}
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+
+		// Journal the tail with the monitor's append-then-sync discipline,
+		// one window-sized batch at a time, then replay it.
+		tail := dv.streamIDs[cut:]
+		walPath := filepath.Join(dir, fmt.Sprintf("cut-%.2f.wal", frac))
+		var aerr error
+		appendT := stats.Time(func() {
+			var wal *snapshot.WAL
+			if wal, aerr = snapshot.CreateWAL(walPath, cfg.Fingerprint(meta), cut); aerr != nil {
+				return
+			}
+			defer wal.Close()
+			for off := 0; off < len(tail); off += wFrames {
+				end := off + wFrames
+				if end > len(tail) {
+					end = len(tail)
+				}
+				if aerr = wal.Append(tail[off:end]); aerr != nil {
+					return
+				}
+				if aerr = wal.Sync(); aerr != nil {
+					return
+				}
+			}
+		})
+		if aerr != nil {
+			return nil, aerr
+		}
+		var ids []uint64
+		var perr error
+		replayT := stats.Time(func() {
+			if _, _, ids, perr = snapshot.ReplayWAL(walPath); perr != nil {
+				return
+			}
+			restored.PushFrames(ids)
+			restored.Flush()
+		})
+		if perr != nil {
+			return nil, perr
+		}
+
+		res.Flush()
+		recovered := append(append([]core.Match(nil), res.Matches...), restored.Matches...)
+		identical := len(recovered) == len(base.Matches)
+		if identical {
+			for i := range recovered {
+				if recovered[i] != base.Matches[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		tb.AddRow(fmt.Sprintf("%.0f%%", frac*100), buf.Len(),
+			writeT.Round(time.Microsecond), restoreT.Round(time.Microsecond),
+			len(tail), fps(len(tail), appendT), fps(len(ids), replayT), identical)
+	}
+	return tb, nil
+}
+
+// newSubscribedEngine builds an engine with every workload query subscribed
+// but no stream consumed.
+func newSubscribedEngine(cfg core.Config, d *derived) (*core.Engine, error) {
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic subscription order, matching runEngine.
+	qids := make([]int, 0, len(d.queryIDs))
+	for qid := range d.queryIDs {
+		qids = append(qids, qid)
+	}
+	sort.Ints(qids)
+	for _, qid := range qids {
+		if err := eng.AddQuery(qid, d.queryIDs[qid]); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// fps formats a frames-per-second rate.
+func fps(frames int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(frames)/d.Seconds())
+}

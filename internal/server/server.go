@@ -8,10 +8,16 @@
 //	GET    /queries                            → JSON list of ids
 //	POST   /streams/{name} body: MVC1 stream   → NDJSON matches, streamed
 //	GET    /stats                              → JSON service counters
+//	POST   /snapshot                           → checkpoint service state now
 //
 // Every stream POST gets its own detection engine; all engines share one
 // query set and Hash-Query index, so a subscription covers every stream,
 // and concurrent stream uploads monitor in parallel.
+//
+// With Config.CheckpointDir set, New resumes from an existing checkpoint
+// (restoring the subscription set), subscription changes are checkpointed
+// immediately, and POST /snapshot or Checkpoint persist state on demand —
+// the hook vcdserve uses for its SIGTERM handoff.
 package server
 
 import (
@@ -30,22 +36,61 @@ import (
 // Server is the HTTP copy-detection service. Create with New, mount via
 // Handler.
 type Server struct {
-	root    *vdsms.Detector // owns the shared query set; never monitors
-	workers int             // per-stream matching workers (0 = inline)
+	root     *vdsms.Detector // owns the shared query set; never monitors
+	workers  int             // per-stream matching workers (0 = inline)
+	restored bool            // whether New resumed from a checkpoint
 
-	mu      sync.Mutex // serialises subscription changes
+	mu      sync.Mutex // serialises subscription changes and checkpoints
 	streams atomic.Int64
 	matches atomic.Int64
 	frames  atomic.Int64
+	// shardCompared accumulates, per query shard, the similarity
+	// evaluations performed across all served streams — the service-level
+	// view of parallel kernel balance.
+	shardCompared []atomic.Int64
 }
 
-// New builds a server with the given detection configuration.
+// New builds a server with the given detection configuration. When
+// cfg.CheckpointDir is set and holds a checkpoint, the subscription set is
+// restored from it (Restored reports whether that happened).
 func New(cfg vdsms.Config) (*Server, error) {
-	det, err := vdsms.NewDetector(cfg)
+	var det *vdsms.Detector
+	var restored bool
+	var err error
+	if cfg.CheckpointDir != "" {
+		det, restored, err = vdsms.Resume(cfg)
+	} else {
+		det, err = vdsms.NewDetector(cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Server{root: det, workers: cfg.Workers}, nil
+	nsh := cfg.Workers
+	if nsh < 1 {
+		nsh = 1
+	}
+	return &Server{
+		root: det, workers: cfg.Workers, restored: restored,
+		shardCompared: make([]atomic.Int64, nsh),
+	}, nil
+}
+
+// Restored reports whether New resumed the query set from a checkpoint.
+func (s *Server) Restored() bool { return s.restored }
+
+// NumQueries returns the current subscription count.
+func (s *Server) NumQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root.NumQueries()
+}
+
+// Checkpoint persists the service state (the shared query set) to the
+// configured checkpoint directory — the graceful-shutdown hook.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root.Checkpoint()
 }
 
 // Handler returns the service's HTTP handler.
@@ -55,7 +100,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/queries/", s.handleQuery)
 	mux.HandleFunc("/streams/", s.handleStream)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	return mux
+}
+
+// handleSnapshot checkpoints the service state on demand.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.root.CheckpointingEnabled() {
+		http.Error(w, "checkpointing disabled: start the service with a checkpoint directory",
+			http.StatusServiceUnavailable)
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"checkpointed": true, "queries": s.NumQueries()})
 }
 
 // handleQueries lists subscribed query ids.
@@ -171,6 +235,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	io.Copy(io.Discard, r.Body)
 	st := det.Stats()
 	s.frames.Add(int64(st.Frames))
+	for i, sh := range st.Shards {
+		if i < len(s.shardCompared) {
+			s.shardCompared[i].Add(sh.Compared)
+		}
+	}
 	sum := streamSummary{
 		Done: true, Stream: name,
 		Frames: st.Frames, Windows: st.Windows, Matches: st.Matches,
@@ -196,12 +265,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queries := s.root.NumQueries()
 	s.mu.Unlock()
+	compared := make([]int64, len(s.shardCompared))
+	for i := range s.shardCompared {
+		compared[i] = s.shardCompared[i].Load()
+	}
 	writeJSON(w, map[string]any{
 		"queries":        queries,
 		"streamsServed":  s.streams.Load(),
 		"matchesEmitted": s.matches.Load(),
 		"framesDecoded":  s.frames.Load(),
 		"workers":        s.workers,
+		"shardCompared":  compared,
+		"checkpointing":  s.root.CheckpointingEnabled(),
 	})
 }
 

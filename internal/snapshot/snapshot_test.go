@@ -1,0 +1,213 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleCheckpoint builds a checkpoint exercising every section of the
+// format: both candidate kinds, signatures, sketches, reports and stats.
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Meta: Meta{U: 4, D: 5, KeyFPS: 2},
+		Engine: EngineState{
+			Config: Config{
+				K: 128, Seed: -7, Delta: 0.7, Lambda: 2, WindowFrames: 10,
+				Order: 0, Method: 0, UseIndex: true,
+			},
+			Frame:  1234,
+			CurIDs: []uint64{0, 1, math.MaxUint64, 42},
+			Stats: Stats{
+				Frames: 1234, Windows: 123,
+				SketchCombines: 1, SketchCompares: 2, SigOrs: 3, SigTests: 4,
+				ProbeComparisons: 5, SignatureSum: 6, CandidateSum: 7, Matches: 8,
+				Shards: []ShardStats{{Probed: 9, Pruned: 10, Compared: 11}, {Compared: 3}},
+			},
+			Queries: []Query{
+				{ID: 3, Frames: 40, Sketch: []uint64{1, 2, 3}},
+				{ID: 1, Frames: 25, Sketch: []uint64{7, 0, math.MaxUint64}},
+			},
+			Seq: []SeqCandidate{
+				{
+					StartFrame: 100, Windows: 3,
+					Sigs:     []Signature{{QID: 1, Lo: []uint64{0xF0}, Hi: []uint64{0x10}}},
+					Reported: []int{1},
+				},
+				{
+					StartFrame: 110, Windows: 2,
+					Sketch:  []uint64{5, 6, 7},
+					Related: []int{1, 3},
+				},
+			},
+			Geo: []GeoBucket{
+				{
+					StartFrame: 90, EndFrame: 130, Windows: 4,
+					Sigs:    []Signature{{QID: 3, Lo: []uint64{1}, Hi: []uint64{0}}},
+					Related: []int{3},
+				},
+			},
+			GeoReported: []GeoReport{{QID: 1, Start: 90}, {QID: 3, Start: 100}},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := sampleCheckpoint()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverges:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestCheckpointEmptySections(t *testing.T) {
+	want := &Checkpoint{
+		Engine: EngineState{
+			Config: Config{K: 1, Delta: 0.5, Lambda: 1, WindowFrames: 1},
+			Stats:  Stats{Shards: []ShardStats{{}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Engine.Config, want.Engine.Config) {
+		t.Errorf("config: want %+v got %+v", want.Engine.Config, got.Engine.Config)
+	}
+	if len(got.Engine.Queries) != 0 || len(got.Engine.Seq) != 0 || len(got.Engine.Geo) != 0 {
+		t.Errorf("empty sections came back non-empty: %+v", got.Engine)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one bit in the middle of the body: the trailer must catch it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(flipped)); err == nil {
+		t.Error("bit flip in body not detected")
+	}
+
+	// Truncations anywhere must error, never panic or misread.
+	for _, n := range []int{0, 5, 13, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+
+	// Wrong magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := sampleCheckpoint()
+	fp := Fingerprint(base.Meta, base.Engine.Config)
+	perturb := []func(*Meta, *Config){
+		func(m *Meta, c *Config) { m.U++ },
+		func(m *Meta, c *Config) { m.D-- },
+		func(m *Meta, c *Config) { m.KeyFPS = 3 },
+		func(m *Meta, c *Config) { c.K++ },
+		func(m *Meta, c *Config) { c.Seed++ },
+		func(m *Meta, c *Config) { c.Delta += 0.01 },
+		func(m *Meta, c *Config) { c.Lambda = 1.5 },
+		func(m *Meta, c *Config) { c.WindowFrames++ },
+		func(m *Meta, c *Config) { c.Order = 1 },
+		func(m *Meta, c *Config) { c.Method = 1 },
+		func(m *Meta, c *Config) { c.UseIndex = !c.UseIndex },
+		func(m *Meta, c *Config) { c.DisablePrune = !c.DisablePrune },
+	}
+	for i, p := range perturb {
+		m, c := base.Meta, base.Engine.Config
+		p(&m, &c)
+		if Fingerprint(m, c) == fp {
+			t.Errorf("perturbation %d does not change the fingerprint", i)
+		}
+	}
+}
+
+func TestCompatibilityErrorNamesFields(t *testing.T) {
+	m := Meta{U: 4, D: 5, KeyFPS: 2}
+	c := Config{K: 800, Delta: 0.7, Lambda: 2, WindowFrames: 10}
+	c2 := c
+	c2.K = 400
+	c2.Delta = 0.9
+	err := CompatibilityError(m, m, c, c2)
+	if err == nil {
+		t.Fatal("mismatched configs produced no error")
+	}
+	for _, field := range []string{"K", "Delta"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("error %q does not name mismatched field %s", err, field)
+		}
+	}
+	if err := CompatibilityError(m, m, c, c); err != nil {
+		t.Errorf("equal configs produced error: %v", err)
+	}
+}
+
+// TestHeaderGolden pins the byte layout of the checkpoint header (magic,
+// version, fingerprint) and the WAL header for a fixed configuration. If
+// this test fails, the on-disk format changed: bump FormatVersion and
+// regenerate the constants below — never ship a silent layout drift.
+func TestHeaderGolden(t *testing.T) {
+	c := &Checkpoint{
+		Meta: Meta{U: 4, D: 5, KeyFPS: 2},
+		Engine: EngineState{
+			Config: Config{
+				K: 800, Seed: 0, Delta: 0.7, Lambda: 2, WindowFrames: 10,
+				Order: 0, Method: 0, UseIndex: true,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// magic "VCKP" | version 0x0001 | FNV-1a fingerprint of meta+config.
+	// Pinning the fingerprint bytes also pins the fingerprint algorithm:
+	// changing it would orphan every deployed checkpoint.
+	const wantHeader = "56434b50000168b80b607d7494f1"
+	if got := hex.EncodeToString(buf.Bytes()[:14]); got != wantHeader {
+		t.Errorf("checkpoint header drifted:\ngot  %s\nwant %s", got, wantHeader)
+	}
+
+	// WAL header golden: magic | version | fingerprint | base frame.
+	dir := t.TempDir()
+	w, err := CreateWAL(dir+"/wal", 0x0123456789abcdef, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(dir + "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantWAL = "5643574c00010123456789abcdef000000000000004d"
+	if got := hex.EncodeToString(data); got != wantWAL {
+		t.Errorf("WAL header drifted:\ngot  %s\nwant %s", got, wantWAL)
+	}
+}

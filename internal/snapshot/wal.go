@@ -1,0 +1,166 @@
+// Frame write-ahead log. Between checkpoints, every cell id pushed into
+// the engine is first appended here; recovery replays the tail through the
+// ordinary matching kernel. Records are frame-granular so a crash loses at
+// most the frames of one unsynced append, and the torn tail a crash can
+// leave behind is detected and discarded rather than misread: every
+// non-final byte of a varint has its continuation bit set, so no proper
+// prefix of a record decodes as a complete record.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WALMagic identifies a WAL file.
+var WALMagic = [4]byte{'V', 'C', 'W', 'L'}
+
+// walHeaderSize is magic(4) + version(2) + fingerprint(8) + baseFrame(8).
+const walHeaderSize = 22
+
+// walMarker precedes every record; a mismatch means corruption (not a torn
+// tail) and fails the replay loudly.
+const walMarker = 0xA5
+
+// WAL is an append-only frame log bound to one checkpoint lineage: its
+// header carries the checkpoint fingerprint (replaying frames into an
+// incompatible engine is refused) and the stream frame index of its first
+// record (so replay after a checkpoint newer than the log skips the
+// already-checkpointed prefix instead of double-counting).
+type WAL struct {
+	f    *os.File
+	path string
+	buf  []byte
+	// Frames counts records appended over the WAL's lifetime, including
+	// those already in the file when it was opened.
+	Frames int
+}
+
+// CreateWAL starts a fresh WAL at path, truncating any previous log. Call
+// immediately after a checkpoint is durably renamed into place, with
+// baseFrame = the checkpoint's frame position.
+func CreateWAL(path string, fingerprint uint64, baseFrame int) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: creating WAL: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:4], WALMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:], FormatVersion)
+	binary.BigEndian.PutUint64(hdr[6:], fingerprint)
+	binary.BigEndian.PutUint64(hdr[14:], uint64(baseFrame))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snapshot: writing WAL header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snapshot: syncing WAL header: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Append logs one batch of cell ids as individual frame records with a
+// single write syscall. Call Sync to make the batch durable.
+func (w *WAL) Append(ids []uint64) error {
+	if w.f == nil {
+		return fmt.Errorf("snapshot: append to closed WAL")
+	}
+	w.buf = w.buf[:0]
+	for _, id := range ids {
+		w.buf = append(w.buf, walMarker)
+		w.buf = binary.AppendUvarint(w.buf, id)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("snapshot: appending to WAL: %w", err)
+	}
+	w.Frames += len(ids)
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// ReplayWAL reads a WAL file back: its fingerprint, the stream frame index
+// of the first record, and the logged cell ids. A torn final record (the
+// footprint of a crash mid-append) is silently discarded; anything else
+// malformed is an error. A missing, empty or header-truncated file — the
+// footprint of a crash during WAL rotation, when the new checkpoint already
+// covers every logged frame — replays as zero frames.
+func ReplayWAL(path string) (fingerprint uint64, baseFrame int, ids []uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil, nil
+		}
+		return 0, 0, nil, fmt.Errorf("snapshot: reading WAL: %w", err)
+	}
+	if len(data) < walHeaderSize {
+		return 0, 0, nil, nil // torn header: rotation crash, checkpoint covers it
+	}
+	if [4]byte(data[:4]) != WALMagic {
+		return 0, 0, nil, fmt.Errorf("snapshot: %s is not a WAL file", path)
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != FormatVersion {
+		return 0, 0, nil, fmt.Errorf("snapshot: unsupported WAL version %d (this build reads %d)", v, FormatVersion)
+	}
+	fingerprint = binary.BigEndian.Uint64(data[6:])
+	baseFrame = int(binary.BigEndian.Uint64(data[14:]))
+	rest := data[walHeaderSize:]
+	for len(rest) > 0 {
+		if rest[0] != walMarker {
+			return 0, 0, nil, fmt.Errorf("snapshot: WAL corrupt at record %d (marker %#02x)", len(ids), rest[0])
+		}
+		v, n := binary.Uvarint(rest[1:])
+		if n <= 0 {
+			break // torn tail: the crash interrupted this append
+		}
+		ids = append(ids, v)
+		rest = rest[1+n:]
+	}
+	return fingerprint, baseFrame, ids, nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so a crash leaves either the old file or the new one —
+// never a torn checkpoint.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

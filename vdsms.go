@@ -34,6 +34,7 @@ import (
 	"vdsms/internal/feature"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/partition"
+	"vdsms/internal/snapshot"
 )
 
 // Config parameterises a Detector. DefaultConfig returns the paper's
@@ -76,6 +77,18 @@ type Config struct {
 	// partitions the queries across N workers per window. Matches and their
 	// order are identical for every value; see core.Config.Workers.
 	Workers int
+	// CheckpointDir, when non-empty, enables crash recovery: the detector
+	// keeps a checkpoint of its full matching state plus a write-ahead log
+	// of the frames consumed since in this directory. Restart with Resume
+	// to continue exactly where a crashed run stopped. One directory serves
+	// one detector lineage; see DESIGN.md "Checkpoint/restore".
+	CheckpointDir string
+	// CheckpointEvery is the minimum wall-clock interval between periodic
+	// checkpoints during Monitor (taken at basic-window boundaries). Zero
+	// disables periodic checkpoints: state is then captured only on query
+	// churn and explicit Checkpoint calls, and recovery replays the WAL
+	// from the last such point.
+	CheckpointEvery time.Duration
 }
 
 // DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
@@ -117,6 +130,16 @@ type Detector struct {
 	// (starting at the nearest retained I-frame before the match). The
 	// clip is only as long as the retention window allows.
 	OnMatchClip func(Match, []byte)
+
+	// Replayed holds the matches re-derived from the WAL tail by Resume.
+	// They were (at least partially) delivered by the crashed run already —
+	// recovery is at-least-once for the frames after the last checkpoint —
+	// so they are reported here instead of through OnMatch.
+	Replayed []Match
+
+	// Checkpoint state (armed when Config.CheckpointDir is set).
+	wal      *snapshot.WAL
+	lastCkpt time.Time
 
 	// Per-Monitor-call archival state.
 	curPD   *mpeg.PartialDecoder
@@ -192,7 +215,11 @@ func (d *Detector) NewStream() (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	nd := &Detector{cfg: d.cfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF}
+	ncfg := d.cfg
+	// One checkpoint directory holds one detector lineage; additional
+	// streams share the query set but must manage their own durability.
+	ncfg.CheckpointDir = ""
+	nd := &Detector{cfg: ncfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF}
 	eng.OnMatch = nd.forward
 	return nd, nil
 }
@@ -272,11 +299,25 @@ func (d *Detector) AddQuery(id int, clip io.Reader) error {
 	if len(dcs) == 0 {
 		return fmt.Errorf("vdsms: query %d has no key frames", id)
 	}
-	return d.engine.AddQuery(id, d.pipeline.ids(dcs))
+	if err := d.engine.AddQuery(id, d.pipeline.ids(dcs)); err != nil {
+		return err
+	}
+	// Subscription churn is not in the WAL (the log carries frames only),
+	// so it is made durable by checkpointing immediately.
+	return d.checkpointOnChurn()
 }
 
 // RemoveQuery unsubscribes a query.
-func (d *Detector) RemoveQuery(id int) error { return d.engine.RemoveQuery(id) }
+func (d *Detector) RemoveQuery(id int) error {
+	if err := d.engine.RemoveQuery(id); err != nil {
+		return err
+	}
+	return d.checkpointOnChurn()
+}
+
+// QueryIDs returns the subscribed query ids (unordered) — after Resume,
+// the queries restored from the checkpoint.
+func (d *Detector) QueryIDs() []int { return d.engine.Queries().IDs() }
 
 // NumQueries returns the number of subscribed queries.
 func (d *Detector) NumQueries() int { return d.engine.NumQueries() }
@@ -333,15 +374,27 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 		}
 		batch = append(batch, d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch))
 		if len(batch) == room {
-			d.engine.PushFrames(batch)
+			if err := d.pushLogged(batch); err != nil {
+				return nil, err
+			}
 			batch = batch[:0]
 			room = d.winKeyF
 		}
 	}
 	if len(batch) > 0 {
-		d.engine.PushFrames(batch)
+		if err := d.pushLogged(batch); err != nil {
+			return nil, err
+		}
 	}
+	flushed := d.engine.PendingFrames() > 0
 	d.engine.Flush()
+	// A flushed partial window is a state change frame replay alone cannot
+	// reproduce, so it is made durable immediately.
+	if flushed && d.wal != nil {
+		if err := d.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
 	out := make([]Match, 0, len(d.engine.Matches)-before)
 	for _, m := range d.engine.Matches[before:] {
 		out = append(out, d.convert(m))
