@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments fuzz snapshot-fuzz clean
+.PHONY: all build test race bench bench-json vet vuln fmt experiments fuzz snapshot-fuzz clean
 
 all: build test
 
@@ -16,8 +16,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
 
+# Machine-readable window-kernel benchmark results (same workload as the
+# BenchmarkWindow* suite, via internal/benchkit).
+bench-json:
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR4.json
+
 vet:
 	$(GO) vet ./...
+
+# Known-vulnerability scan (network: resolves govulncheck and its DB).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 fmt:
 	gofmt -w .

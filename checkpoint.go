@@ -176,6 +176,7 @@ func Resume(cfg Config) (*Detector, bool, error) {
 		}
 		d.engine = eng
 		eng.OnMatch = d.forward
+		d.armSlowWindow(eng)
 		ckFrame = ck.Engine.Frame
 	}
 

@@ -5,6 +5,8 @@
 //	vcdbench [-scale N] [-seed S] all            # every experiment
 //	vcdbench [-scale N] [-seed S] fig6 fig9 ...  # selected experiments
 //	vcdbench -list                                # list experiments
+//	vcdbench -bench-json BENCH.json               # window-kernel microbenchmarks as JSON
+//	vcdbench -metrics-addr :8655 all              # expose /metrics while experiments run
 //
 // Each experiment prints a text table whose rows are the series the paper
 // plots. Scale 1 (default) runs in seconds; larger scales approach the
@@ -14,10 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
+	"vdsms/internal/benchkit"
 	"vdsms/internal/experiments"
+	"vdsms/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	benchJSON := flag.String("bench-json", "", "run the window-kernel microbenchmarks and write JSON results to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while running (e.g. :8655)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vcdbench [flags] all | <experiment>...\n\nflags:\n")
 		flag.PrintDefaults()
@@ -36,6 +43,24 @@ func main() {
 	if *list {
 		printList()
 		return
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "vcdbench: metrics server:", err)
+			}
+		}()
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "vcdbench:", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -80,6 +105,33 @@ func main() {
 		}
 		fmt.Printf("(%s reproduces %s; ran in %v)\n\n", e.Name, e.Paper, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeBenchJSON runs the shared window-kernel benchmark suite (the same
+// workload as `go test -bench BenchmarkWindow`) and writes a
+// machine-readable report — the artifact CI and EXPERIMENTS.md consume.
+func writeBenchJSON(path string) error {
+	fmt.Fprintln(os.Stderr, "running window-kernel benchmarks (one line per variant)...")
+	results, err := benchkit.RunWindowBenchmarks(func(r benchkit.Result) {
+		fmt.Fprintf(os.Stderr, "  %-24s %12.0f ns/op %8.1f windows/s %6d B/op %5d allocs/op\n",
+			r.Name, r.NsPerOp, r.WindowsPerSec, r.BytesPerOp, r.AllocsPerOp)
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchkit.WriteReport(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 func printList() {

@@ -16,19 +16,38 @@
 // -resume restores that state, replays the frame log, and continues the
 // stream exactly where it left off (replayed matches are reported with a
 // REPLAY prefix — the crashed run may already have printed them).
+//
+// With -metrics-addr the monitor serves Prometheus metrics (GET /metrics)
+// on a side listener while it runs; set TELEMETRY_SLOW_WINDOW=budget to
+// also log any basic window that processes slower than real time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"vdsms"
+	"vdsms/internal/telemetry"
 )
+
+// serveMetrics exposes the process-wide telemetry registry at
+// addr/metrics in the background, so a long-running monitor can be
+// scraped while it works.
+func serveMetrics(tool, addr string) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: metrics server: %v\n", tool, err)
+		}
+	}()
+}
 
 // queryFlags accumulates repeated -q flags.
 type queryFlags []string
@@ -50,8 +69,13 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "journal frames and checkpoint matching state in this directory")
 	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "minimum interval between periodic checkpoints")
 	resume := flag.Bool("resume", false, "restore state from -checkpoint-dir and replay the frame log before monitoring")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while monitoring (e.g. :8655)")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		serveMetrics("vcdmon", *metricsAddr)
+	}
 
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "vcdmon: -resume requires -checkpoint-dir")

@@ -10,7 +10,11 @@
 //	GET    /queries                           subscription count
 //	POST   /streams/{name}  body: MVC1 stream monitor; matches stream back as NDJSON
 //	GET    /stats                             service counters (incl. per-shard work)
+//	GET    /metrics                           Prometheus text exposition
+//	GET    /healthz                           liveness probe
+//	GET    /readyz                            readiness probe (200 once restored)
 //	POST   /snapshot                          checkpoint service state now
+//	/debug/pprof/*                            profiling, only with -pprof
 //
 // With -checkpoint-dir the service persists its subscription state: it
 // restores from an existing checkpoint on boot, checkpoints on every
@@ -49,6 +53,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "persist service state in this directory (restore on boot)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 	drain := flag.Duration("drain", 30*time.Second, "in-flight stream drain timeout on shutdown")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	cfg := vdsms.DefaultConfig()
@@ -60,7 +65,7 @@ func main() {
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
 
-	srv, err := server.New(cfg)
+	srv, err := server.NewWithOptions(cfg, server.Options{EnablePprof: *pprof})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcdserve:", err)
 		os.Exit(1)

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"vdsms/internal/bitsig"
 	"vdsms/internal/minhash"
 	"vdsms/internal/qindex"
+	"vdsms/internal/telemetry"
 )
 
 // queryInfo is the per-query state held by a QuerySet.
@@ -48,6 +50,18 @@ type Engine struct {
 	// OnMatch, when non-nil, is invoked synchronously for every match, on
 	// the goroutine calling PushFrame/PushFrames/Flush.
 	OnMatch func(Match)
+
+	// SlowWindow, when positive, arms the slow-window tracer: any basic
+	// window whose processing exceeds it is reported through OnSlowWindow
+	// with a per-stage breakdown. Set both before pushing frames.
+	SlowWindow time.Duration
+	// OnSlowWindow receives slow-window traces; invoked synchronously on
+	// the pushing goroutine, so keep it cheap.
+	OnSlowWindow func(SlowWindowTrace)
+
+	// telShardCompared are this engine's per-shard comparison counters
+	// (shared process-wide by shard id via the telemetry registry).
+	telShardCompared []*telemetry.Counter
 }
 
 // NewEngine validates cfg and builds an engine with its own private query
@@ -84,8 +98,10 @@ func newEngine(cfg Config, qs *QuerySet) *Engine {
 	}
 	e := &Engine{cfg: cfg, qs: qs, nshards: n}
 	e.shards = make([]*engineShard, n)
+	e.telShardCompared = make([]*telemetry.Counter, n)
 	for i := range e.shards {
 		e.shards[i] = &engineShard{id: i, spine: i == 0}
+		e.telShardCompared[i] = shardComparedCounter(i)
 	}
 	e.stats.Shards = make([]ShardStats, n)
 	return e
@@ -129,6 +145,7 @@ func (e *Engine) PushFrame(cellID uint64) {
 	e.curIDs = append(e.curIDs, cellID)
 	e.frame++
 	e.stats.Frames++
+	telFrames.Inc()
 	if len(e.curIDs) == e.cfg.WindowFrames {
 		e.processWindow()
 		e.curIDs = e.curIDs[:0]
@@ -140,6 +157,7 @@ func (e *Engine) PushFrame(cellID uint64) {
 // the per-frame call overhead, which matters once window processing fans
 // out to workers.
 func (e *Engine) PushFrames(cellIDs []uint64) {
+	telFrames.Add(int64(len(cellIDs)))
 	for len(cellIDs) > 0 {
 		need := e.cfg.WindowFrames - len(e.curIDs)
 		if need > len(cellIDs) {
@@ -181,9 +199,26 @@ func (e *Engine) maxWindowsOf(q *queryInfo) int { return e.cfg.maxWindows(q.fram
 // evaluation out across the query shards, and merges the shards' matches
 // deterministically. With Workers=0 the single shard runs inline and the
 // merge is the identity — the original serial path.
+//
+// Stage timing (sketch → probe → combine → merge, plus the window total)
+// runs when telemetry is enabled or the slow-window tracer is armed: two
+// clock reads per serial stage and two per shard, feeding the
+// vcd_stage_duration_seconds histograms and OnSlowWindow. The timed path
+// allocates nothing beyond what the untimed kernel already does.
 func (e *Engine) processWindow() {
 	e.stats.Windows++
+	telWindows.Inc()
+	timed := telemetry.Enabled() || (e.SlowWindow > 0 && e.OnSlowWindow != nil)
+	var t0, t1 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	wsk := e.qs.Family().SketchSet(e.curIDs)
+	var sketchD time.Duration
+	if timed {
+		t1 = time.Now()
+		sketchD = t1.Sub(t0)
+	}
 	view := e.qs.view()
 	win := &windowResult{
 		sketch:     wsk,
@@ -197,10 +232,25 @@ func (e *Engine) processWindow() {
 	if e.cfg.Order == Sequential {
 		e.seqPrePass(win)
 	}
+	// The serial spine work before the fork accrues to the merge stage,
+	// together with its post-join counterpart below.
+	var preD time.Duration
+	if timed {
+		preD = time.Since(t1)
+	}
 
 	e.runShards(func(s *engineShard) {
+		var ts time.Time
+		if timed {
+			ts = time.Now()
+		}
 		if len(view.queries) > 0 {
 			e.probeShard(s, win, wsk, view)
+		}
+		if timed {
+			now := time.Now()
+			s.d.probeNS = now.Sub(ts).Nanoseconds()
+			ts = now
 		}
 		switch e.cfg.Order {
 		case Sequential:
@@ -208,13 +258,24 @@ func (e *Engine) processWindow() {
 		default:
 			e.shardGeometric(s, win, view)
 		}
+		if timed {
+			s.d.combineNS = time.Since(ts).Nanoseconds()
+		}
 	})
 
+	var tMerge time.Time
+	if timed {
+		tMerge = time.Now()
+	}
 	if e.cfg.Order == Sequential {
 		e.seqPostPass(win, view)
 	}
 	e.emitPending()
 	e.foldShardStats()
+	if timed {
+		end := time.Now()
+		e.observeWindow(win, sketchD, preD+end.Sub(tMerge), end.Sub(t0))
+	}
 }
 
 // probeShard determines shard s's related queries for the window: bit
@@ -306,6 +367,7 @@ func (w *windowResult) relatedLen() int {
 // emit records a merged match.
 func (e *Engine) emit(m Match) {
 	e.stats.Matches++
+	telMatches.Inc()
 	e.Matches = append(e.Matches, m)
 	if e.OnMatch != nil {
 		e.OnMatch(m)

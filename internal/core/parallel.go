@@ -49,6 +49,10 @@ type shardDelta struct {
 	probeComparisons               int64
 	signatureSum, candidateSum     int64
 	probed, pruned                 int64
+	// probeNS and combineNS are this shard's stage spans for the window,
+	// written by the shard itself and read after the join by the telemetry
+	// fold (zero when timing is off).
+	probeNS, combineNS int64
 }
 
 // pendingMatch is a shard-local match awaiting the deterministic merge.
@@ -172,6 +176,9 @@ func (e *Engine) foldShardStats() {
 		sh.Probed += d.probed
 		sh.Pruned += d.pruned
 		sh.Compared += d.sigTests + d.sketchCompares
+		e.telShardCompared[i].Add(d.sigTests + d.sketchCompares)
+		telProbeRelated.Add(d.probed)
+		telProbePruned.Add(d.pruned)
 	}
 }
 

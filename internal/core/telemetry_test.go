@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vdsms/internal/telemetry"
+)
+
+// telemetryEngine builds a small engine with a few overlapping queries so
+// windows do real probe/combine work.
+func telemetryEngine(t *testing.T, workers int) (*Engine, [][]uint64) {
+	t.Helper()
+	cfg := Config{
+		K: 64, Seed: 5, Delta: 0.5, Lambda: 2, WindowFrames: 4,
+		Method: Bit, Order: Sequential, UseIndex: true, Workers: workers,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for id := 1; id <= 12; id++ {
+		ids := make([]uint64, 16)
+		for i := range ids {
+			ids[i] = uint64(rng.Intn(40))
+		}
+		if err := eng.AddQuery(id, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wins := make([][]uint64, 8)
+	for w := range wins {
+		win := make([]uint64, cfg.WindowFrames)
+		for i := range win {
+			win[i] = uint64(rng.Intn(40))
+		}
+		wins[w] = win
+	}
+	return eng, wins
+}
+
+// TestTelemetryCounters verifies the engine folds its work into the
+// process-wide registry: windows, frames and per-shard comparisons all
+// advance by the amounts the engine's own Stats report.
+func TestTelemetryCounters(t *testing.T) {
+	eng, wins := telemetryEngine(t, 2)
+	before := readAll(t)
+	for _, w := range wins {
+		eng.PushFrames(w)
+	}
+	after := readAll(t)
+	st := eng.Stats()
+
+	if got := after["windows"] - before["windows"]; got != float64(st.Windows) {
+		t.Errorf("vcd_windows_processed_total advanced by %v, want %d", got, st.Windows)
+	}
+	if got := after["frames"] - before["frames"]; got != float64(st.Frames) {
+		t.Errorf("vcd_frames_total advanced by %v, want %d", got, st.Frames)
+	}
+	var compared float64
+	for _, sh := range st.Shards {
+		compared += float64(sh.Compared)
+	}
+	if got := after["compared"] - before["compared"]; got != compared {
+		t.Errorf("vcd_shard_compared_total advanced by %v, want %v", got, compared)
+	}
+}
+
+// readAll snapshots the counters this test asserts deltas on (the
+// registry is process-wide and shared with other tests in the package).
+func readAll(t *testing.T) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{
+		"windows": float64(telWindows.Value()),
+		"frames":  float64(telFrames.Value()),
+	}
+	var compared int64
+	for i := 0; i < 64; i++ {
+		compared += shardComparedCounter(i).Value()
+	}
+	out["compared"] = float64(compared)
+	return out
+}
+
+// TestStageHistogramsObserve checks every stage series gains exactly one
+// observation per processed window while telemetry is enabled.
+func TestStageHistogramsObserve(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	eng, wins := telemetryEngine(t, 0)
+	stages := map[string]*telemetry.Histogram{
+		"sketch": telStageSketch, "probe": telStageProbe,
+		"combine": telStageCombine, "merge": telStageMerge,
+		"window_total": telStageWindow,
+	}
+	before := make(map[string]int64, len(stages))
+	for name, h := range stages {
+		before[name] = h.Count()
+	}
+	for _, w := range wins {
+		eng.PushFrames(w)
+	}
+	windows := int64(eng.Stats().Windows)
+	if windows == 0 {
+		t.Fatal("no windows processed")
+	}
+	for name, h := range stages {
+		if got := h.Count() - before[name]; got != windows {
+			t.Errorf("stage %s observed %d windows, want %d", name, got, windows)
+		}
+	}
+}
+
+// TestStageTimingDisabled checks SetEnabled(false) actually stops the
+// histograms (the benchmark-overhead configuration).
+func TestStageTimingDisabled(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	eng, wins := telemetryEngine(t, 0)
+	before := telStageWindow.Count()
+	for _, w := range wins {
+		eng.PushFrames(w)
+	}
+	if got := telStageWindow.Count() - before; got != 0 {
+		t.Errorf("stage histograms observed %d windows with telemetry disabled, want 0", got)
+	}
+}
+
+// TestSlowWindowTracer arms the tracer with a 1ns budget so every window
+// is slow, and checks the per-stage breakdown is sane.
+func TestSlowWindowTracer(t *testing.T) {
+	for _, workers := range []int{0, 3} {
+		eng, wins := telemetryEngine(t, workers)
+		var traces []SlowWindowTrace
+		eng.SlowWindow = time.Nanosecond
+		eng.OnSlowWindow = func(tr SlowWindowTrace) { traces = append(traces, tr) }
+		for _, w := range wins {
+			eng.PushFrames(w)
+		}
+		windows := eng.Stats().Windows
+		if len(traces) != windows {
+			t.Fatalf("workers=%d: %d traces for %d windows", workers, len(traces), windows)
+		}
+		for i, tr := range traces {
+			if tr.Total <= 0 {
+				t.Errorf("workers=%d trace %d: Total = %v, want > 0", workers, i, tr.Total)
+			}
+			if tr.Budget != time.Nanosecond {
+				t.Errorf("workers=%d trace %d: Budget = %v", workers, i, tr.Budget)
+			}
+			if tr.EndFrame-tr.StartFrame != eng.cfg.WindowFrames {
+				t.Errorf("workers=%d trace %d: frames [%d,%d) not one window", workers, i, tr.StartFrame, tr.EndFrame)
+			}
+			if tr.Sketch < 0 || tr.Probe < 0 || tr.Combine < 0 || tr.Merge < 0 {
+				t.Errorf("workers=%d trace %d: negative stage span: %+v", workers, i, tr)
+			}
+			if sum := tr.Sketch + tr.Probe + tr.Combine + tr.Merge; sum > 10*tr.Total+time.Millisecond {
+				t.Errorf("workers=%d trace %d: stage sum %v wildly exceeds total %v", workers, i, sum, tr.Total)
+			}
+		}
+	}
+}
+
+// TestSlowWindowTracerQuietWhenUnderBudget gives every window an hour of
+// budget: no trace may fire.
+func TestSlowWindowTracerQuietWhenUnderBudget(t *testing.T) {
+	eng, wins := telemetryEngine(t, 2)
+	fired := 0
+	eng.SlowWindow = time.Hour
+	eng.OnSlowWindow = func(SlowWindowTrace) { fired++ }
+	for _, w := range wins {
+		eng.PushFrames(w)
+	}
+	if fired != 0 {
+		t.Errorf("tracer fired %d times under an hour budget", fired)
+	}
+}
+
+// TestTelemetryDeterminism re-checks the serial/parallel contract with the
+// tracer armed and telemetry on: instrumentation must not perturb matches.
+func TestTelemetryDeterminism(t *testing.T) {
+	run := func(workers int, slow time.Duration) []Match {
+		eng, wins := telemetryEngine(t, workers)
+		eng.SlowWindow = slow
+		eng.OnSlowWindow = func(SlowWindowTrace) {}
+		for _, w := range wins {
+			eng.PushFrames(w)
+		}
+		return eng.Matches
+	}
+	base := run(0, 0)
+	for _, workers := range []int{0, 2, 5} {
+		for _, slow := range []time.Duration{0, time.Nanosecond} {
+			got := run(workers, slow)
+			if len(got) != len(base) {
+				t.Fatalf("workers=%d slow=%v: %d matches, want %d", workers, slow, len(got), len(base))
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("workers=%d slow=%v: match %d = %+v, want %+v", workers, slow, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}

@@ -8,11 +8,20 @@
 //	GET    /queries                            → JSON list of ids
 //	POST   /streams/{name} body: MVC1 stream   → NDJSON matches, streamed
 //	GET    /stats                              → JSON service counters
+//	GET    /metrics                            → Prometheus text exposition
+//	GET    /healthz                            → liveness (always 200)
+//	GET    /readyz                             → readiness (200 once restore-on-boot completed)
 //	POST   /snapshot                           → checkpoint service state now
+//	/debug/pprof/*                             → profiling (opt-in via Options.EnablePprof)
 //
 // Every stream POST gets its own detection engine; all engines share one
 // query set and Hash-Query index, so a subscription covers every stream,
 // and concurrent stream uploads monitor in parallel.
+//
+// /stats, /metrics, /healthz and /readyz are wait-free: they read atomics
+// only and never take the subscription mutex, so a checkpointing
+// subscription change (which fsyncs under that mutex) or a busy monitor
+// loop can never stall a scrape or a health probe.
 //
 // With Config.CheckpointDir set, New resumes from an existing checkpoint
 // (restoring the subscription set), subscription changes are checkpointed
@@ -25,12 +34,25 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"vdsms"
+	"vdsms/internal/telemetry"
+)
+
+// Service-level metrics in the process-wide registry (rendered by
+// GET /metrics alongside the engine and durability series).
+var (
+	telStreamsActive = telemetry.Default.Gauge("vcd_streams_active",
+		"Streams currently being monitored.")
+	telStreamsServed = telemetry.Default.Counter("vcd_streams_served_total",
+		"Stream uploads accepted over the service lifetime.")
+	telQueries = telemetry.Default.Gauge("vcd_queries",
+		"Currently subscribed continuous queries.")
 )
 
 // Server is the HTTP copy-detection service. Create with New, mount via
@@ -39,9 +61,13 @@ type Server struct {
 	root     *vdsms.Detector // owns the shared query set; never monitors
 	workers  int             // per-stream matching workers (0 = inline)
 	restored bool            // whether New resumed from a checkpoint
+	pprof    bool            // mount /debug/pprof/*
 
 	mu      sync.Mutex // serialises subscription changes and checkpoints
+	ready   atomic.Bool
+	queries atomic.Int64 // subscription count, maintained under mu
 	streams atomic.Int64
+	active  atomic.Int64 // streams currently monitoring
 	matches atomic.Int64
 	frames  atomic.Int64
 	// shardCompared accumulates, per query shard, the similarity
@@ -50,10 +76,22 @@ type Server struct {
 	shardCompared []atomic.Int64
 }
 
+// Options tunes the service surface beyond the detection configuration.
+type Options struct {
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and cost CPU,
+	// so production deployments opt in explicitly.
+	EnablePprof bool
+}
+
 // New builds a server with the given detection configuration. When
 // cfg.CheckpointDir is set and holds a checkpoint, the subscription set is
-// restored from it (Restored reports whether that happened).
-func New(cfg vdsms.Config) (*Server, error) {
+// restored from it (Restored reports whether that happened). The server is
+// ready (GET /readyz → 200) once New returns.
+func New(cfg vdsms.Config) (*Server, error) { return NewWithOptions(cfg, Options{}) }
+
+// NewWithOptions is New with service options.
+func NewWithOptions(cfg vdsms.Config, opts Options) (*Server, error) {
 	var det *vdsms.Detector
 	var restored bool
 	var err error
@@ -69,21 +107,30 @@ func New(cfg vdsms.Config) (*Server, error) {
 	if nsh < 1 {
 		nsh = 1
 	}
-	return &Server{
-		root: det, workers: cfg.Workers, restored: restored,
+	s := &Server{
+		root: det, workers: cfg.Workers, restored: restored, pprof: opts.EnablePprof,
 		shardCompared: make([]atomic.Int64, nsh),
-	}, nil
+	}
+	s.setQueries(det.NumQueries())
+	// Restore-on-boot (the Resume above) has completed: the service may
+	// accept traffic. Until this store, GET /readyz reports 503.
+	s.ready.Store(true)
+	return s, nil
 }
 
 // Restored reports whether New resumed the query set from a checkpoint.
 func (s *Server) Restored() bool { return s.restored }
 
-// NumQueries returns the current subscription count.
-func (s *Server) NumQueries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.root.NumQueries()
+// setQueries refreshes the wait-free subscription count; callers hold mu
+// (or are still single-goroutine, as in NewWithOptions).
+func (s *Server) setQueries(n int) {
+	s.queries.Store(int64(n))
+	telQueries.Set(float64(n))
 }
+
+// NumQueries returns the current subscription count. Wait-free: reads the
+// count maintained under the subscription mutex rather than taking it.
+func (s *Server) NumQueries() int { return int(s.queries.Load()) }
 
 // Checkpoint persists the service state (the shared query set) to the
 // configured checkpoint directory — the graceful-shutdown hook.
@@ -101,7 +148,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/streams/", s.handleStream)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz is the readiness probe: 200 only once restore-on-boot has
+// completed and the service can accept subscriptions and streams.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ready.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false})
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true, "restored": s.restored})
 }
 
 // handleSnapshot checkpoints the service state on demand.
@@ -128,10 +210,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	n := s.root.NumQueries()
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"queries": n})
+	writeJSON(w, map[string]any{"queries": s.NumQueries()})
 }
 
 // handleQuery subscribes (PUT) or unsubscribes (DELETE) one query.
@@ -145,6 +224,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPut:
 		s.mu.Lock()
 		err := s.root.AddQuery(id, r.Body)
+		s.setQueries(s.root.NumQueries())
 		s.mu.Unlock()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -154,6 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.mu.Lock()
 		err := s.root.RemoveQuery(id)
+		s.setQueries(s.root.NumQueries())
 		s.mu.Unlock()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
@@ -207,6 +288,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streams.Add(1)
+	s.active.Add(1)
+	telStreamsServed.Inc()
+	telStreamsActive.Inc()
+	defer func() {
+		s.active.Add(-1)
+		telStreamsActive.Dec()
+	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Matches are written while the request body is still being consumed;
@@ -256,22 +344,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(sum)
 }
 
-// handleStats reports service-level counters.
+// handleStats reports service-level counters as a point-in-time snapshot.
+// It reads atomics only — never the subscription mutex — so a concurrent
+// monitor loop, subscription change or checkpoint fsync cannot stall it
+// (each field is individually consistent; the set is a best-effort
+// snapshot, as with any lock-free multi-counter read).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	queries := s.root.NumQueries()
-	s.mu.Unlock()
 	compared := make([]int64, len(s.shardCompared))
 	for i := range s.shardCompared {
 		compared[i] = s.shardCompared[i].Load()
 	}
 	writeJSON(w, map[string]any{
-		"queries":        queries,
+		"queries":        s.NumQueries(),
 		"streamsServed":  s.streams.Load(),
+		"streamsActive":  s.active.Load(),
 		"matchesEmitted": s.matches.Load(),
 		"framesDecoded":  s.frames.Load(),
 		"workers":        s.workers,

@@ -13,6 +13,26 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
+
+	"vdsms/internal/telemetry"
+)
+
+// Durability-path telemetry: WAL appends and fsyncs bound the per-batch
+// latency floor of a checkpointed monitor, and checkpoint writes bound its
+// worst-case stall — the three durations perf work on the durability layer
+// reports against.
+var (
+	telWALAppend = telemetry.Default.Histogram("vcd_wal_append_duration_seconds",
+		"Duration of WAL batch appends (write syscall, pre-fsync).", telemetry.DurationBuckets)
+	telWALFsync = telemetry.Default.Histogram("vcd_wal_fsync_duration_seconds",
+		"Duration of WAL fsyncs.", telemetry.DurationBuckets)
+	telWALFrames = telemetry.Default.Counter("vcd_wal_frames_total",
+		"Frame records appended to WALs.")
+	telCkptWrite = telemetry.Default.Histogram("vcd_checkpoint_write_duration_seconds",
+		"Duration of atomic checkpoint writes (serialise, fsync, rename).", telemetry.DurationBuckets)
+	telCkptTotal = telemetry.Default.Counter("vcd_checkpoints_total",
+		"Checkpoints durably written.")
 )
 
 // WALMagic identifies a WAL file.
@@ -69,6 +89,11 @@ func (w *WAL) Append(ids []uint64) error {
 	if w.f == nil {
 		return fmt.Errorf("snapshot: append to closed WAL")
 	}
+	var t0 time.Time
+	if timed := telemetry.Enabled(); timed {
+		t0 = time.Now()
+		defer func() { telWALAppend.ObserveDuration(time.Since(t0)) }()
+	}
 	w.buf = w.buf[:0]
 	for _, id := range ids {
 		w.buf = append(w.buf, walMarker)
@@ -78,6 +103,7 @@ func (w *WAL) Append(ids []uint64) error {
 		return fmt.Errorf("snapshot: appending to WAL: %w", err)
 	}
 	w.Frames += len(ids)
+	telWALFrames.Add(int64(len(ids)))
 	return nil
 }
 
@@ -86,7 +112,13 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	if !telemetry.Enabled() {
+		return w.f.Sync()
+	}
+	t0 := time.Now()
+	err := w.f.Sync()
+	telWALFsync.ObserveDuration(time.Since(t0))
+	return err
 }
 
 // Close syncs and closes the log file.
@@ -94,7 +126,7 @@ func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Sync()
+	err := w.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -146,6 +178,10 @@ func ReplayWAL(path string) (fingerprint uint64, baseFrame int, ids []uint64, er
 // fsync, and rename, so a crash leaves either the old file or the new one —
 // never a torn checkpoint.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	var t0 time.Time
+	if timed := telemetry.Enabled(); timed {
+		t0 = time.Now()
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
 	if err != nil {
 		return err
@@ -162,5 +198,12 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	telCkptTotal.Inc()
+	if !t0.IsZero() {
+		telCkptWrite.ObserveDuration(time.Since(t0))
+	}
+	return nil
 }

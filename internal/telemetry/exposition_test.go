@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildScrape renders a registry exercising every metric kind and a tricky
+// label value.
+func buildScrape(t *testing.T) (*Registry, string) {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("vcd_things_total", "Things, counted.")
+	c.Add(7)
+	g := r.Gauge("vcd_level", "A level.", L("name", `we"ird\v`))
+	g.Set(1.25)
+	h := r.Histogram("vcd_dur_seconds", "Durations.", []float64{0.001, 0.01, 0.1}, L("stage", "probe"))
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return r, b.String()
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	_, text := buildScrape(t)
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\nscrape:\n%s", err, text)
+	}
+
+	if e.Type["vcd_things_total"] != "counter" {
+		t.Errorf("vcd_things_total TYPE = %q, want counter", e.Type["vcd_things_total"])
+	}
+	if e.Type["vcd_level"] != "gauge" || e.Type["vcd_dur_seconds"] != "histogram" {
+		t.Errorf("TYPE lines wrong: %v", e.Type)
+	}
+	if e.Help["vcd_things_total"] != "Things, counted." {
+		t.Errorf("HELP = %q", e.Help["vcd_things_total"])
+	}
+
+	if v, ok := e.Value("vcd_things_total"); !ok || v != 7 {
+		t.Errorf("vcd_things_total = %v (ok=%v), want 7", v, ok)
+	}
+	if v, ok := e.Value("vcd_level", L("name", `we"ird\v`)); !ok || v != 1.25 {
+		t.Errorf("escaped-label gauge = %v (ok=%v), want 1.25", v, ok)
+	}
+
+	// Histogram: cumulative buckets, +Inf == _count, _sum matches.
+	want := map[string]float64{"0.001": 1, "0.01": 1, "0.1": 2, "+Inf": 3}
+	for le, wv := range want {
+		if v, ok := e.Value("vcd_dur_seconds_bucket", L("stage", "probe"), L("le", le)); !ok || v != wv {
+			t.Errorf("bucket le=%s = %v (ok=%v), want %v", le, v, ok, wv)
+		}
+	}
+	if v, ok := e.Value("vcd_dur_seconds_count", L("stage", "probe")); !ok || v != 3 {
+		t.Errorf("_count = %v (ok=%v), want 3", v, ok)
+	}
+	if v, ok := e.Value("vcd_dur_seconds_sum", L("stage", "probe")); !ok || math.Abs(v-5.0505) > 1e-9 {
+		t.Errorf("_sum = %v (ok=%v), want 5.0505", v, ok)
+	}
+}
+
+// TestBucketsCumulative asserts the rendered bucket series never
+// decreases — the invariant Prometheus servers enforce on ingest.
+func TestBucketsCumulative(t *testing.T) {
+	_, text := buildScrape(t)
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, s := range e.Samples {
+		if s.Name != "vcd_dur_seconds_bucket" {
+			continue
+		}
+		if s.Value < last {
+			t.Fatalf("bucket series decreased: le=%s value=%g after %g", s.Labels["le"], s.Value, last)
+		}
+		last = s.Value
+	}
+	if last < 0 {
+		t.Fatal("no bucket samples found")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"novalue\n",
+		"# TYPE m sometype\nm 1\n",
+		`m{x="unterminated} 1` + "\n",
+		"orphan_sample 1\n", // sample before TYPE
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {1e-6, "1e-06"}, {0.25, "0.25"}, {2.5, "2.5"},
+	} {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// A minimal parser for the Prometheus text exposition format v0.0.4 — the
+// inverse of WritePrometheus. It exists so tests (here and in
+// internal/server) can validate scrapes structurally instead of grepping
+// for substrings, and doubles as a debugging aid for operators without a
+// Prometheus server at hand.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	// Help and Type map family names to their HELP and TYPE lines.
+	Help, Type map[string]string
+	Samples    []Sample
+}
+
+// Value returns the value of the sample with the given name whose labels
+// include every given pair, and whether one exists.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if s.Labels[l.Key] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses text exposition format v0.0.4, enforcing the
+// structural rules WritePrometheus relies on: TYPE precedes a family's
+// samples, sample lines are well-formed, and values parse as floats
+// (+Inf included).
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Help: make(map[string]string), Type: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, found := strings.Cut(rest, " ")
+			if !found || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			e.Help[name] = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || name == "" {
+				return nil, fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			e.Type[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, ok := e.Type[familyOf(s.Name)]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s before its TYPE line", lineNo, s.Name)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// familyOf strips the histogram sample suffixes from a sample name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: make(map[string]string)}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if space < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	}
+	if brace >= 0 && brace < space {
+		s.Name = rest[:brace]
+		end := strings.IndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[brace+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		s.Name = rest[:space]
+		rest = strings.TrimSpace(rest[space+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty sample name in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return fmt.Errorf("malformed label pair near %q", body)
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		into[key] = val.String()
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Metric registry and Prometheus text exposition (format v0.0.4).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one constant key/value pair attached to a metric instance.
+// Instances of one family (same name) differ only in their label sets.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates family types for the TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one labeled instance inside a family.
+type metric struct {
+	labels []Label // sorted by key
+	sig    string  // canonical label signature for get-or-create
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every instance sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	bounds  []float64 // histograms only
+	metrics []*metric // insertion order; sorted at render time
+	bySig   map[string]*metric
+}
+
+// Registry holds metric families. Registration (Counter/Gauge/Histogram)
+// is get-or-create and safe for concurrent use; it locks and may allocate,
+// so resolve handles at construction time, not on hot paths. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every subsystem registers into and
+// GET /metrics renders.
+var Default = NewRegistry()
+
+// Counter returns the counter with the given name and labels, creating it
+// (and its family, with the given help text) on first use. Panics if the
+// name is already registered as a different type — metric names are a
+// process-wide contract, and a type clash is a programming error.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.getOrCreate(name, help, kindCounter, nil, labels)
+	return m.c
+}
+
+// Gauge is Counter for gauges.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.getOrCreate(name, help, kindGauge, nil, labels)
+	return m.g
+}
+
+// Histogram is Counter for histograms. bounds are ascending upper bucket
+// bounds (the +Inf bucket is implicit); every instance of one family must
+// use identical bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	m := r.getOrCreate(name, help, kindHistogram, bounds, labels)
+	return m.h
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, bounds []float64, labels []Label) *metric {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	sig := labelSignature(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, bySig: make(map[string]*metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if m := f.bySig[sig]; m != nil {
+		return m
+	}
+	m := &metric{labels: sorted, sig: sig}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = newHistogram(f.bounds)
+	}
+	f.bySig[sig] = m
+	f.metrics = append(f.metrics, m)
+	return m
+}
+
+func labelSignature(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every family in registration order as Prometheus
+// text exposition format v0.0.4. The family/metric set is frozen under the
+// registry lock first; values are then read atomically per metric, and a
+// histogram's _count is computed from the bucket counts read in the same
+// pass, so each scrape is internally consistent per metric (cross-metric
+// consistency is best-effort, as in every atomic-based client).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	snaps := make([][]*metric, len(fams))
+	for i, f := range fams {
+		ms := append([]*metric(nil), f.metrics...)
+		sort.Slice(ms, func(a, b int) bool { return ms[a].sig < ms[b].sig })
+		snaps[i] = ms
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	var buckets []int64
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range snaps[i] {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, "", m.labels, "", float64(m.c.Value()))
+			case kindGauge:
+				writeSample(&b, f.name, "", m.labels, "", m.g.Value())
+			case kindHistogram:
+				if cap(buckets) < len(f.bounds)+1 {
+					buckets = make([]int64, len(f.bounds)+1)
+				}
+				buckets = buckets[:len(f.bounds)+1]
+				sum := m.h.snapshot(buckets)
+				var cum int64
+				for bi, bound := range f.bounds {
+					cum += buckets[bi]
+					writeSample(&b, f.name, "_bucket", m.labels, formatFloat(bound), float64(cum))
+				}
+				cum += buckets[len(f.bounds)]
+				writeSample(&b, f.name, "_bucket", m.labels, "+Inf", float64(cum))
+				writeSample(&b, f.name, "_sum", m.labels, "", sum)
+				writeSample(&b, f.name, "_count", m.labels, "", float64(cum))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one sample line. le, when non-empty, is appended as the
+// histogram bucket bound label.
+func writeSample(b *strings.Builder, name, suffix string, labels []Label, le string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a value the way Prometheus parsers expect: integers
+// without an exponent or trailing zeros, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns an http.Handler that renders the registry — mount it at
+// GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

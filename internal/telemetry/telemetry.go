@@ -1,0 +1,161 @@
+// Package telemetry is the production observability core of the VDSMS: an
+// allocation-free, concurrency-safe metrics library (atomic counters,
+// gauges and fixed-boundary latency histograms) plus a Registry that
+// snapshots consistently and renders the Prometheus text exposition format
+// v0.0.4 — stdlib only, no client library.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path observations (Counter.Add, Histogram.Observe) must be
+//     wait-free-ish atomic operations with zero heap allocations — they sit
+//     inside the per-window matching kernel, whose budget is microseconds.
+//  2. Metric handles are resolved once, at construction time, through the
+//     Registry (which locks); the hot path then holds direct pointers and
+//     never touches a map or a lock again.
+//  3. Rendering walks a point-in-time snapshot: the metric set is frozen
+//     under the registry lock, each metric's value is read atomically, and
+//     a histogram's _count is derived from its bucket counts so buckets and
+//     count can never disagree within one scrape.
+//
+// The package-level Enabled flag gates the *timing* call sites (the
+// time.Now pairs around pipeline stages), letting benchmarks measure the
+// kernel with instrumentation compiled in but cold. Counters are so cheap
+// they stay on unconditionally.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates stage-timing instrumentation. Histogram/Counter methods
+// always work; callers use Enabled() to skip the clock reads that feed
+// them. Default on: observability is a production default, not an opt-in.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether stage-timing instrumentation should run.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled toggles stage-timing instrumentation process-wide and returns
+// the previous value (so benchmarks can restore it).
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop (allocation-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-boundary Prometheus-style histogram. Boundaries are
+// upper bucket bounds in ascending order; an implicit +Inf bucket catches
+// the tail. Observation is a linear scan over the pre-computed bounds (the
+// default latency layout has 20 — a scan beats binary search at this size)
+// plus two atomic operations; it performs zero heap allocations.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative
+	sum    atomic.Uint64  // float64 bits of the observation sum, CAS-added
+}
+
+// newHistogram builds a histogram over the given bounds. The Registry is
+// the only constructor path, so bounds are validated there.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot reads the bucket counts (non-cumulative) and sum. The count is
+// derived from the buckets by the renderer so the two always agree.
+func (h *Histogram) snapshot(buckets []int64) (sum float64) {
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+	}
+	return h.Sum()
+}
+
+// DurationBuckets is the default latency layout: a 1–2.5–5 progression
+// from 1µs to 2.5s (20 bounds + the implicit +Inf). It spans everything
+// the pipeline produces — sub-10µs probe steps, millisecond windows,
+// multi-millisecond fsyncs and second-scale checkpoint writes — with
+// roughly constant relative resolution (see DESIGN.md §8).
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5,
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Errorf("Value = %g, want 3", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	// Boundaries are inclusive upper bounds: 0.05,0.1 → le=0.1;
+	// 0.5,1 → le=1; 5 → le=10; 100 → +Inf.
+	var buckets [4]int64
+	sum := h.snapshot(buckets[:])
+	want := [4]int64{2, 2, 1, 1}
+	if buckets != want {
+		t.Errorf("buckets = %v, want %v", buckets, want)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if math.Abs(sum-106.65) > 1e-9 {
+		t.Errorf("Sum = %g, want 106.65", sum)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", DurationBuckets)
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.003) > 1e-12 {
+		t.Errorf("Sum = %g, want 0.003", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", L("shard", "0"))
+	b := r.Counter("c_total", "help", L("shard", "0"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := r.Counter("c_total", "help", L("shard", "1"))
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	// Label order must not matter.
+	x := r.Gauge("g", "help", L("a", "1"), L("b", "2"))
+	y := r.Gauge("g", "help", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+// TestZeroAllocObservation is the ISSUE 4 acceptance gate: a histogram
+// observation, a counter add and a gauge add must not allocate — they run
+// inside the per-window matching kernel.
+func TestZeroAllocObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", DurationBuckets)
+	var c Counter
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.0042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(42 * time.Microsecond) }); n != 0 {
+		t.Errorf("Histogram.ObserveDuration allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1.5) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %.1f times per call, want 0", n)
+	}
+}
+
+// TestConcurrentObservation hammers one histogram and counter from many
+// goroutines while a renderer scrapes, for the race detector's benefit,
+// and checks nothing is lost.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", DurationBuckets)
+	c := r.Counter("c_total", "test")
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb nopWriter
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%10) * 1e-4)
+				c.Inc()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != workers*perW {
+		t.Errorf("histogram count = %d, want %d", got, workers*perW)
+	}
+	if got := c.Value(); got != workers*perW {
+		t.Errorf("counter = %d, want %d", got, workers*perW)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestSetEnabled(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if Enabled() {
+		t.Error("Enabled() true after SetEnabled(false)")
+	}
+	if was := SetEnabled(true); was {
+		t.Error("SetEnabled did not report previous value")
+	}
+	if !Enabled() {
+		t.Error("Enabled() false after SetEnabled(true)")
+	}
+}
+
+func TestDurationBucketsAscending(t *testing.T) {
+	for i := 1; i < len(DurationBuckets); i++ {
+		if DurationBuckets[i] <= DurationBuckets[i-1] {
+			t.Fatalf("DurationBuckets not ascending at %d", i)
+		}
+	}
+}

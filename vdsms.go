@@ -89,6 +89,14 @@ type Config struct {
 	// churn and explicit Checkpoint calls, and recovery replays the WAL
 	// from the last such point.
 	CheckpointEvery time.Duration
+	// SlowWindow arms the slow-window tracer: any basic window whose
+	// processing exceeds this budget is reported with a per-stage latency
+	// breakdown (via OnSlowWindow when set, else as one log line). Zero
+	// defers to the TELEMETRY_SLOW_WINDOW environment variable; negative
+	// disables tracing even when the variable is set. The natural budget
+	// for live input is WindowSec — pass TELEMETRY_SLOW_WINDOW=budget for
+	// exactly that.
+	SlowWindow time.Duration
 }
 
 // DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
@@ -130,6 +138,11 @@ type Detector struct {
 	// (starting at the nearest retained I-frame before the match). The
 	// clip is only as long as the retention window allows.
 	OnMatchClip func(Match, []byte)
+	// OnSlowWindow, when set together with an armed slow-window budget
+	// (Config.SlowWindow or TELEMETRY_SLOW_WINDOW), receives the per-stage
+	// breakdown of every basic window that exceeded it, replacing the
+	// default log line. Set before monitoring.
+	OnSlowWindow func(SlowWindowTrace)
 
 	// Replayed holds the matches re-derived from the WAL tail by Resume.
 	// They were (at least partially) delivered by the crashed run already —
@@ -201,6 +214,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	}
 	d := &Detector{cfg: cfg, pipeline: pipeline{ex: ex, pt: pt}, engine: eng, winKeyF: winKeyF}
 	eng.OnMatch = d.forward
+	d.armSlowWindow(eng)
 	return d, nil
 }
 
@@ -221,6 +235,7 @@ func (d *Detector) NewStream() (*Detector, error) {
 	ncfg.CheckpointDir = ""
 	nd := &Detector{cfg: ncfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF}
 	eng.OnMatch = nd.forward
+	nd.armSlowWindow(eng)
 	return nd, nil
 }
 
@@ -252,6 +267,7 @@ func LoadDetector(cfg Config, r io.Reader) (*Detector, error) {
 	}
 	d.engine = eng
 	eng.OnMatch = d.forward
+	d.armSlowWindow(eng)
 	return d, nil
 }
 
@@ -356,13 +372,28 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 	// amortised — which matters once the window kernel fans out to workers.
 	room := d.winKeyF - d.engine.PendingFrames()
 	batch := make([]uint64, 0, d.winKeyF)
+	// Front-end stage timing (decode, extract) aggregates per basic window
+	// to match the matching-kernel stages' granularity.
+	fe := newFrontEndTimer(d.winKeyF)
 	for {
+		var tDec time.Time
+		if fe.active {
+			tDec = time.Now()
+		}
 		dcf, err := pd.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
+		}
+		var tExt time.Time
+		if fe.active {
+			tExt = time.Now()
+		}
+		batch = append(batch, d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch))
+		if fe.active {
+			fe.add(tExt.Sub(tDec), time.Since(tExt))
 		}
 		if d.curPD != nil {
 			d.keyMap = append(d.keyMap, dcf.Info.Index)
@@ -372,7 +403,6 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 				d.keyBase += trim
 			}
 		}
-		batch = append(batch, d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch))
 		if len(batch) == room {
 			if err := d.pushLogged(batch); err != nil {
 				return nil, err
@@ -381,6 +411,7 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 			room = d.winKeyF
 		}
 	}
+	fe.flush()
 	if len(batch) > 0 {
 		if err := d.pushLogged(batch); err != nil {
 			return nil, err
@@ -408,9 +439,19 @@ func (d *Detector) Stats() Stats { return d.engine.Stats() }
 // MonitorContext is Monitor with cancellation: it stops (returning
 // ctx.Err() and the matches found so far) at the next frame boundary after
 // the context is done. Use for live streams that have no natural EOF.
+//
+// When checkpointing is enabled, a cancelled monitor writes a final
+// checkpoint before returning, so the state at the cancellation point
+// survives a subsequent process exit without relying on the WAL tail
+// alone.
 func (d *Detector) MonitorContext(ctx context.Context, stream io.Reader) ([]Match, error) {
 	matches, err := d.Monitor(&contextReader{ctx: ctx, r: stream})
 	if cerr := ctx.Err(); cerr != nil && err != nil {
+		if d.CheckpointingEnabled() {
+			if ckErr := d.Checkpoint(); ckErr != nil {
+				return matches, ckErr
+			}
+		}
 		return matches, cerr
 	}
 	return matches, err
