@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet vuln fmt experiments fuzz snapshot-fuzz clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz clean
 
 all: build test
 
@@ -19,7 +19,13 @@ bench:
 # Machine-readable window-kernel benchmark results (same workload as the
 # BenchmarkWindow* suite, via internal/benchkit).
 bench-json:
-	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR5.json
+
+# Regression gate: rerun the suite and compare windows/sec and allocs/op
+# against the previous PR's committed baseline. Fails when any benchmark
+# regresses beyond the tolerance.
+bench-gate:
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR5.json -bench-compare BENCH_PR4.json -bench-tolerance 0.35
 
 vet:
 	$(GO) vet ./...

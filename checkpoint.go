@@ -177,6 +177,7 @@ func Resume(cfg Config) (*Detector, bool, error) {
 		d.engine = eng
 		eng.OnMatch = d.forward
 		d.armSlowWindow(eng)
+		d.armTrace(eng)
 		ckFrame = ck.Engine.Frame
 	}
 

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vdsms/internal/buildinfo"
 	"vdsms/internal/workload"
 )
 
@@ -26,7 +27,12 @@ func main() {
 	truthPath := flag.String("truth", "", "ground-truth file (required)")
 	window := flag.Float64("window", 5, "basic window w in seconds (evaluation slack)")
 	keyFPS := flag.Float64("keyfps", 2, "key-frame rate used to convert seconds to frames")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("vcdeval"))
+		return
+	}
 	if *truthPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: vcdmon ... | vcdeval -truth truth.txt [-window 5]")
 		flag.PrintDefaults()

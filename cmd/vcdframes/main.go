@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vdsms/internal/buildinfo"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/vframe"
 )
@@ -26,7 +27,12 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	every := flag.Int("every", 1, "export every N-th frame")
 	max := flag.Int("max", 0, "stop after this many exported frames (0 = all)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("vcdframes"))
+		return
+	}
 	if *in == "" || *out == "" || *every < 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"vdsms"
+	"vdsms/internal/buildinfo"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/vframe"
 	"vdsms/internal/workload"
@@ -35,6 +36,9 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "-version", "--version", "version":
+		fmt.Println(buildinfo.String("vcdgen"))
+		return
 	case "clip":
 		err = clipCmd(os.Args[2:])
 	case "edit":

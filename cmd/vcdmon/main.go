@@ -20,6 +20,13 @@
 // With -metrics-addr the monitor serves Prometheus metrics (GET /metrics)
 // on a side listener while it runs; set TELEMETRY_SLOW_WINDOW=budget to
 // also log any basic window that processes slower than real time.
+//
+// With -explain every candidate-lifecycle decision is journaled and every
+// MATCH line is followed by an EXPLAIN line: the per-window estimate
+// trajectory that crossed δ, the combination order and signature method,
+// and an exact-Jaccard audit of the reported similarity against Theorem
+// 1's deviation bound. A final stderr line counts the decisions that never
+// became matches (prunes, drops, expiries, near misses).
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"vdsms"
+	"vdsms/internal/buildinfo"
 	"vdsms/internal/telemetry"
 )
 
@@ -70,8 +78,15 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "minimum interval between periodic checkpoints")
 	resume := flag.Bool("resume", false, "restore state from -checkpoint-dir and replay the frame log before monitoring")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while monitoring (e.g. :8655)")
+	explain := flag.Bool("explain", false, "trace candidate lifecycles and print an EXPLAIN line (trajectory, audit) per match")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("vcdmon"))
+		return
+	}
+	buildinfo.Metric()
 
 	if *metricsAddr != "" {
 		serveMetrics("vcdmon", *metricsAddr)
@@ -99,6 +114,14 @@ func main() {
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	if *explain {
+		// Journal every lifecycle decision and exact-audit every report and
+		// prune — for a one-shot CLI run the audit cost is irrelevant and
+		// the per-match estimator error is what the user asked to see.
+		// AuditFraction > 0 implies tracing at the default journal capacity.
+		cfg.AuditFraction = 1
+		cfg.StreamName = "vcdmon"
+	}
 	var det *vdsms.Detector
 	var err error
 	if *resume {
@@ -191,6 +214,11 @@ func main() {
 	det.OnMatch = func(m vdsms.Match) {
 		fmt.Printf("MATCH query=%d at=%.1fs start=%.1fs end=%.1fs sim=%.3f\n",
 			m.QueryID, m.DetectedAt.Seconds(), m.Start.Seconds(), m.End.Seconds(), m.Similarity)
+		if *explain {
+			if rec, ok := det.MatchRecord(det.LastMatchID()); ok {
+				fmt.Print(explainLine(rec))
+			}
+		}
 	}
 	if *archiveDir != "" {
 		if err := os.MkdirAll(*archiveDir, 0o755); err != nil {
@@ -221,6 +249,9 @@ func main() {
 	st := det.Stats()
 	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",
 		st.Frames, st.Windows, st.Matches, st.AvgSignatures())
+	if *explain {
+		fmt.Fprintln(os.Stderr, explainSummary(det))
+	}
 	if *workers > 0 {
 		var total, max int64
 		for _, sh := range st.Shards {
@@ -238,6 +269,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parallel: %d workers, %d comparisons, shard balance %.2f\n",
 			len(st.Shards), total, balance)
 	}
+}
+
+// explainLine renders one match's provenance record: the per-window
+// estimate trajectory that crossed δ, how the candidate was combined, and
+// (always present under -explain, which audits every report) the exact
+// Jaccard check against Theorem 1's bound.
+func explainLine(rec vdsms.MatchRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  EXPLAIN id=%d windows=%d order=%s method=%s trajectory=[",
+		rec.ID, rec.Windows, rec.Order, rec.Method)
+	for i, est := range rec.Trajectory {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.3f", est)
+	}
+	sb.WriteString("]")
+	if a := rec.Audit; a != nil {
+		verdict := "ok"
+		if a.Violated {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&sb, " audit(exact=%.3f est=%.3f err=%.3f bound=%.3f %s)",
+			a.Exact, a.Estimate, a.AbsError, a.Bound, verdict)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// explainSummary counts the journaled lifecycle events of this run's
+// stream, giving -explain users the why-not view: prunes, drops, expiries
+// and near misses that never became matches.
+func explainSummary(det *vdsms.Detector) string {
+	counts := map[string]int{}
+	for _, ev := range det.TraceEvents(0) {
+		counts[ev.Kind.String()]++
+	}
+	return fmt.Sprintf("events: born=%d extended=%d pruned=%d dropped=%d expired=%d reported=%d near_miss=%d",
+		counts["born"], counts["extended"], counts["pruned"], counts["dropped"],
+		counts["expired"], counts["reported"], counts["near_miss"])
 }
 
 func fatal(err error) {

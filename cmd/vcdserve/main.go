@@ -14,6 +14,9 @@
 //	GET    /healthz                           liveness probe
 //	GET    /readyz                            readiness probe (200 once restored)
 //	POST   /snapshot                          checkpoint service state now
+//	GET    /debug/events                      lifecycle event journal (arm with -trace-events)
+//	GET    /debug/matches[/{id}]              match provenance (explain) records
+//	GET/POST /debug/slow-window               read / retune the slow-window budget live
 //	/debug/pprof/*                            profiling, only with -pprof
 //
 // With -checkpoint-dir the service persists its subscription state: it
@@ -33,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,7 +44,9 @@ import (
 	"time"
 
 	"vdsms"
+	"vdsms/internal/buildinfo"
 	"vdsms/internal/server"
+	"vdsms/internal/trace"
 )
 
 func main() {
@@ -54,7 +60,16 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 	drain := flag.Duration("drain", 30*time.Second, "in-flight stream drain timeout on shutdown")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	traceEvents := flag.Int("trace-events", 0, "arm decision-provenance tracing with an event journal of this capacity (0 = off)")
+	auditFraction := flag.Float64("audit-fraction", 0, "exact-audit this fraction of report/prune decisions against Theorem 1's bound (implies tracing; 0 = off)")
+	traceLog := flag.Bool("trace-log", false, "emit journaled lifecycle events as structured JSON logs on stderr (requires tracing)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("vcdserve"))
+		return
+	}
+	buildinfo.Metric()
 
 	cfg := vdsms.DefaultConfig()
 	cfg.Delta = *delta
@@ -64,6 +79,19 @@ func main() {
 	cfg.Workers = *workers
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.TraceEvents = *traceEvents
+	cfg.AuditFraction = *auditFraction
+	cfg.StreamName = "root"
+
+	if *traceLog {
+		if *traceEvents <= 0 && *auditFraction <= 0 {
+			fmt.Fprintln(os.Stderr, "vcdserve: -trace-log requires -trace-events or -audit-fraction")
+			os.Exit(2)
+		}
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		stopLog := trace.LogEvents(trace.Default, logger)
+		defer stopLog()
+	}
 
 	srv, err := server.NewWithOptions(cfg, server.Options{EnablePprof: *pprof})
 	if err != nil {

@@ -1,0 +1,103 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadReportFile loads a -bench-json report from disk.
+func ReadReportFile(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+// Comparison is the verdict for one benchmark present in both reports.
+type Comparison struct {
+	Name      string
+	OldWPS    float64 // baseline windows/sec
+	NewWPS    float64
+	OldAllocs int64
+	NewAllocs int64
+	Regressed bool
+	Reason    string
+	OnlyInOne bool // benchmark missing from one side; informational
+}
+
+// String renders a one-line verdict for gate output.
+func (c Comparison) String() string {
+	if c.OnlyInOne {
+		return fmt.Sprintf("%-26s SKIP  (%s)", c.Name, c.Reason)
+	}
+	delta := 0.0
+	if c.OldWPS > 0 {
+		delta = (c.NewWPS - c.OldWPS) / c.OldWPS * 100
+	}
+	verdict := "ok"
+	if c.Regressed {
+		verdict = "FAIL " + c.Reason
+	}
+	return fmt.Sprintf("%-26s %10.1f -> %10.1f windows/s (%+.1f%%)  allocs %d -> %d  %s",
+		c.Name, c.OldWPS, c.NewWPS, delta, c.OldAllocs, c.NewAllocs, verdict)
+}
+
+// allocSlack is the absolute allocs/op growth always permitted before the
+// fractional tolerance applies, so near-zero baselines (e.g. 2 allocs/op)
+// don't fail on a one-allocation jitter.
+const allocSlack = 8
+
+// CompareReports gates new against old: a benchmark regresses when its
+// windows/sec drops below old*(1-tol) or its allocs/op grows beyond
+// old*(1+tol)+allocSlack. Benchmarks present in only one report are
+// reported as skipped, never failed — suite composition may change
+// between PRs.
+func CompareReports(old, new_ Report, tol float64) []Comparison {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(old.Results))
+	cmps := make([]Comparison, 0, len(new_.Results))
+	for _, nr := range new_.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			cmps = append(cmps, Comparison{Name: nr.Name, OnlyInOne: true, Reason: "new benchmark, no baseline"})
+			continue
+		}
+		seen[nr.Name] = true
+		c := Comparison{
+			Name:   nr.Name,
+			OldWPS: or.WindowsPerSec, NewWPS: nr.WindowsPerSec,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
+		if or.WindowsPerSec > 0 && nr.WindowsPerSec < or.WindowsPerSec*(1-tol) {
+			c.Regressed = true
+			c.Reason = fmt.Sprintf("throughput below %.0f%% of baseline", (1-tol)*100)
+		}
+		allocLimit := float64(or.AllocsPerOp)*(1+tol) + allocSlack
+		if float64(nr.AllocsPerOp) > allocLimit {
+			c.Regressed = true
+			if c.Reason != "" {
+				c.Reason += "; "
+			}
+			c.Reason += fmt.Sprintf("allocs/op %d exceeds limit %.0f", nr.AllocsPerOp, allocLimit)
+		}
+		cmps = append(cmps, c)
+	}
+	for _, or := range old.Results {
+		if !seen[or.Name] {
+			cmps = append(cmps, Comparison{Name: or.Name, OnlyInOne: true, Reason: "missing from candidate report"})
+		}
+	}
+	return cmps
+}

@@ -1,0 +1,80 @@
+// Package buildinfo identifies the running binary: version, go toolchain
+// and VCS commit, surfaced uniformly as the -version flag of every cmd/*
+// binary and as the vcd_build_info gauge on /metrics (the Prometheus
+// convention: a constant-1 series whose labels carry the identity, so
+// dashboards can join any other series against the deployed version).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"vdsms/internal/telemetry"
+)
+
+// Version is the release identifier, overridable at link time:
+//
+//	go build -ldflags "-X vdsms/internal/buildinfo.Version=v1.2.3"
+var Version = "v0.5.0-dev"
+
+var (
+	once   sync.Once
+	commit string
+)
+
+// Commit returns the VCS revision the binary was built from (12 hex chars,
+// "-dirty" suffixed when the tree was modified), or "unknown" outside a
+// stamped module build.
+func Commit() string {
+	once.Do(func() {
+		commit = "unknown"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev == "" {
+			return
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		commit = rev
+	})
+	return commit
+}
+
+// String renders the identity line printed by -version:
+//
+//	vcdmon v0.5.0-dev (commit 1a2b3c4d5e6f, go1.22.0, linux/amd64)
+func String(tool string) string {
+	return fmt.Sprintf("%s %s (commit %s, %s, %s/%s)",
+		tool, Version, Commit(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Metric publishes the vcd_build_info gauge (value 1, identity in labels)
+// into the process-wide registry. Idempotent — the registry deduplicates by
+// name+labels — and called by every cmd/* binary at startup so /metrics
+// always carries the deployed version.
+func Metric() {
+	telemetry.Default.Gauge("vcd_build_info",
+		"Build identity of the running binary; constant 1, identity in the labels.",
+		telemetry.L("version", Version),
+		telemetry.L("commit", Commit()),
+		telemetry.L("goversion", runtime.Version()),
+	).Set(1)
+}

@@ -9,6 +9,7 @@ import (
 	"vdsms/internal/minhash"
 	"vdsms/internal/qindex"
 	"vdsms/internal/telemetry"
+	"vdsms/internal/trace"
 )
 
 // queryInfo is the per-query state held by a QuerySet.
@@ -16,6 +17,10 @@ type queryInfo struct {
 	id     int
 	frames int // length L in key frames
 	sketch minhash.Sketch
+	// cellIDs retains the query's raw cell ids for the sampled exact audit
+	// (trace.go). Nil for queries restored from a VQS1 stream — the format
+	// carries sketches only — in which case their decisions are audit-skipped.
+	cellIDs []uint64
 }
 
 // Engine is the streaming detector for one stream. It consumes one cell id
@@ -55,9 +60,28 @@ type Engine struct {
 	// window whose processing exceeds it is reported through OnSlowWindow
 	// with a per-stage breakdown. Set both before pushing frames.
 	SlowWindow time.Duration
+	// SlowVar, when non-nil, overrides SlowWindow with a runtime-adjustable
+	// budget read once per window (shared across a detector lineage so
+	// POST /debug/slow-window reaches every live engine).
+	SlowVar *SlowBudget
 	// OnSlowWindow receives slow-window traces; invoked synchronously on
 	// the pushing goroutine, so keep it cheap.
 	OnSlowWindow func(SlowWindowTrace)
+
+	// Decision-provenance state (see trace.go). trc is nil unless tracing
+	// was armed; its enabled flag is sampled once per window into
+	// windowResult.tr, the pointer every kernel recording site checks.
+	trc     *trace.Recorder
+	nearEps float64
+	// Sampled exact-audit channel (SetAudit): every auditEvery-th report
+	// and prune decision is recomputed exactly from the retained raw
+	// cell-id windows in auditWins and scored against auditBound.
+	auditEvery   int
+	auditBound   float64
+	auditWins    map[int][]uint64
+	auditRes     map[auditKey]*trace.AuditResult
+	auditReports uint64
+	auditPrunes  uint64
 
 	// telShardCompared are this engine's per-shard comparison counters
 	// (shared process-wide by shard id via the telemetry registry).
@@ -208,7 +232,8 @@ func (e *Engine) maxWindowsOf(q *queryInfo) int { return e.cfg.maxWindows(q.fram
 func (e *Engine) processWindow() {
 	e.stats.Windows++
 	telWindows.Inc()
-	timed := telemetry.Enabled() || (e.SlowWindow > 0 && e.OnSlowWindow != nil)
+	slow := e.slowBudget()
+	timed := telemetry.Enabled() || (slow > 0 && e.OnSlowWindow != nil)
 	var t0, t1 time.Time
 	if timed {
 		t0 = time.Now()
@@ -227,6 +252,16 @@ func (e *Engine) processWindow() {
 		maxW:       e.globalMaxWindows(view),
 		relatedSh:  make([]map[int]*bitsig.Signature, e.nshards),
 		qidsSh:     make([][]int, e.nshards),
+	}
+	// The tracer's enabled flag is sampled once here: every recording site
+	// downstream checks win.tr, so a mid-window toggle never tears a
+	// window's event set and the disabled path is a single nil comparison.
+	if e.trc.Enabled() {
+		win.tr = e.trc
+		win.nearEps = e.nearEps
+		if e.auditEvery > 0 {
+			e.retainAuditWindow(win)
+		}
 	}
 
 	if e.cfg.Order == Sequential {
@@ -270,11 +305,18 @@ func (e *Engine) processWindow() {
 	if e.cfg.Order == Sequential {
 		e.seqPostPass(win, view)
 	}
-	e.emitPending()
+	if win.tr != nil {
+		evs := win.tr.FoldWindow()
+		if e.auditEvery > 0 {
+			e.auditWindow(evs, view)
+		}
+		win.tr.Publish(evs)
+	}
+	e.emitPending(win)
 	e.foldShardStats()
 	if timed {
 		end := time.Now()
-		e.observeWindow(win, sketchD, preD+end.Sub(tMerge), end.Sub(t0))
+		e.observeWindow(win, slow, sketchD, preD+end.Sub(tMerge), end.Sub(t0))
 	}
 }
 
@@ -350,6 +392,10 @@ type windowResult struct {
 	maxW       int                         // global candidate bound ⌈λL_max/w⌉
 	relatedSh  []map[int]*bitsig.Signature // Bit: per-shard window-vs-query signatures
 	qidsSh     [][]int                     // Sketch: per-shard related query ids, sorted
+	// tr is the lifecycle-event recorder for this window, nil when tracing
+	// is off — the single guard every kernel recording site checks.
+	tr      *trace.Recorder
+	nearEps float64 // near-miss band: estimates in [δ−ε, δ) are journaled
 }
 
 // relatedLen returns the total number of related queries across shards.

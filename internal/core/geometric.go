@@ -3,6 +3,7 @@ package core
 import (
 	"vdsms/internal/bitsig"
 	"vdsms/internal/minhash"
+	"vdsms/internal/trace"
 )
 
 // geoBucket is one stored candidate of the Geometric order: a contiguous
@@ -49,7 +50,7 @@ func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryVi
 	nb := e.newGeoBucket(s, win)
 
 	// Test the window alone.
-	e.testGeo(s, nb, view)
+	e.testGeo(s, win, nb, view)
 
 	// Transient cascade: suffix = window ∪ newest ∪ next ∪ ...
 	maxW := win.maxW
@@ -58,8 +59,8 @@ func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryVi
 		if acc.windows+s.geo[i].windows > maxW {
 			break
 		}
-		acc = e.mergeGeo(s, s.geo[i], acc, view)
-		e.testGeo(s, acc, view)
+		acc = e.mergeGeo(s, win, s.geo[i], acc, view)
+		e.testGeo(s, win, acc, view)
 	}
 
 	// Storage update: push the size-1 bucket, merge equal-size neighbours.
@@ -67,10 +68,13 @@ func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryVi
 	// candidate can never match any query) and would starve the cascade,
 	// so they are suppressed.
 	s.geo = append(s.geo, e.cloneGeo(nb))
+	if win.tr != nil && s.spine {
+		win.tr.Serial().Add(trace.Born, -1, nb.startFrame, nb.endFrame, 1, -1, 0)
+	}
 	for n := len(s.geo); n >= 2 &&
 		s.geo[n-1].windows >= s.geo[n-2].windows &&
 		s.geo[n-1].windows+s.geo[n-2].windows <= maxW; n = len(s.geo) {
-		merged := e.mergeGeo(s, s.geo[n-2], s.geo[n-1], view)
+		merged := e.mergeGeo(s, win, s.geo[n-2], s.geo[n-1], view)
 		s.geo = append(s.geo[:n-2], merged)
 	}
 	// Expire the oldest buckets beyond the λL bound.
@@ -80,6 +84,10 @@ func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryVi
 	}
 	for len(s.geo) > 0 && total > maxW {
 		total -= s.geo[0].windows
+		if win.tr != nil && s.spine {
+			b := s.geo[0]
+			win.tr.Serial().Add(trace.Expired, -1, b.startFrame, b.endFrame, b.windows, -1, 0)
+		}
 		s.geo = s.geo[1:]
 	}
 
@@ -164,7 +172,7 @@ func (e *Engine) cloneGeo(b *geoBucket) *geoBucket {
 // their consecutive candidate sequences; true-copy windows always stay
 // related, so this costs no detectable copies), and no sketch operations
 // are performed at all — the asymmetry behind the Fig. 6 CPU split.
-func (e *Engine) mergeGeo(s *engineShard, old, new_ *geoBucket, view *queryView) *geoBucket {
+func (e *Engine) mergeGeo(s *engineShard, win *windowResult, old, new_ *geoBucket, view *queryView) *geoBucket {
 	out := &geoBucket{
 		startFrame: old.startFrame,
 		endFrame:   new_.endFrame,
@@ -179,12 +187,19 @@ func (e *Engine) mergeGeo(s *engineShard, old, new_ *geoBucket, view *queryView)
 			}
 			q := view.lookup(qid)
 			if q == nil || out.windows > e.maxWindowsOf(q) {
+				if win.tr != nil {
+					win.tr.Shard(s.id).Add(trace.Expired, qid, out.startFrame, out.endFrame, out.windows, -1, 0)
+				}
 				continue
 			}
 			sig := a.Clone()
 			sig.Or(b)
 			s.d.sigOrs++
 			if !e.cfg.DisablePrune && sig.Prunable(e.cfg.Delta) {
+				if win.tr != nil {
+					margin := (float64(sig.LessCount()) - float64(e.cfg.K)*(1-e.cfg.Delta)) / float64(e.cfg.K)
+					win.tr.Shard(s.id).Add(trace.Pruned, qid, out.startFrame, out.endFrame, out.windows, sig.Similarity(), margin)
+				}
 				s.d.pruned++
 				continue
 			}
@@ -208,6 +223,9 @@ func (e *Engine) mergeGeo(s *engineShard, old, new_ *geoBucket, view *queryView)
 	for qid := range out.related {
 		q := view.lookup(qid)
 		if q == nil || out.windows > e.maxWindowsOf(q) {
+			if win.tr != nil {
+				win.tr.Shard(s.id).Add(trace.Expired, qid, out.startFrame, out.endFrame, out.windows, -1, 0)
+			}
 			delete(out.related, qid)
 		}
 	}
@@ -216,7 +234,7 @@ func (e *Engine) mergeGeo(s *engineShard, old, new_ *geoBucket, view *queryView)
 
 // testGeo evaluates one (possibly transient) candidate against the shard's
 // tracked queries, buffering threshold crossings once per (query, start).
-func (e *Engine) testGeo(s *engineShard, b *geoBucket, view *queryView) {
+func (e *Engine) testGeo(s *engineShard, win *windowResult, b *geoBucket, view *queryView) {
 	if e.cfg.Method == Bit {
 		for _, qid := range sortedSigKeys(b.sigs) {
 			sig := b.sigs[qid]
@@ -226,6 +244,7 @@ func (e *Engine) testGeo(s *engineShard, b *geoBucket, view *queryView) {
 			}
 			s.d.sigTests++
 			sim := sig.Similarity()
+			e.traceGeoTest(s, win, b, qid, sim)
 			if sim < e.cfg.Delta {
 				continue
 			}
@@ -245,6 +264,7 @@ func (e *Engine) testGeo(s *engineShard, b *geoBucket, view *queryView) {
 		eq, _ := minhash.CompareCounts(b.sketch, q.sketch)
 		s.d.sketchCompares++
 		sim := float64(eq) / float64(e.cfg.K)
+		e.traceGeoTest(s, win, b, qid, sim)
 		if sim < e.cfg.Delta {
 			continue
 		}
@@ -253,5 +273,24 @@ func (e *Engine) testGeo(s *engineShard, b *geoBucket, view *queryView) {
 			s.geoReported[k] = true
 			s.push(0, b.startFrame, qid, newMatch(qid, b.startFrame, b.endFrame, b.windows, sim))
 		}
+	}
+}
+
+// traceGeoTest records the lifecycle events of one geometric candidate
+// test: the Extended estimate point, plus the Reported / NearMiss decision
+// with the same once-per-(query, start) dedup the match buffer applies.
+func (e *Engine) traceGeoTest(s *engineShard, win *windowResult, b *geoBucket, qid int, sim float64) {
+	if win.tr == nil {
+		return
+	}
+	l := win.tr.Shard(s.id)
+	l.Add(trace.Extended, qid, b.startFrame, b.endFrame, b.windows, sim, 0)
+	if s.geoReported[geoKey{qid: qid, start: b.startFrame}] {
+		return
+	}
+	if sim >= e.cfg.Delta {
+		l.Add(trace.Reported, qid, b.startFrame, b.endFrame, b.windows, sim, 0)
+	} else if sim >= e.cfg.Delta-win.nearEps {
+		l.Add(trace.NearMiss, qid, b.startFrame, b.endFrame, b.windows, sim, e.cfg.Delta-sim)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"vdsms/internal/bitsig"
+	"vdsms/internal/trace"
 )
 
 // engineShard owns the per-query mutable matching state of one query
@@ -117,10 +118,10 @@ func (e *Engine) runShards(fn func(*engineShard)) {
 // first), qids ascending within a candidate — key (phase, start asc, qid).
 // Geometric serial order: the window-alone bucket has the maximal start and
 // each cascade step extends further into the past — key (start desc, qid).
-func (e *Engine) emitPending() {
+func (e *Engine) emitPending(win *windowResult) {
 	if e.nshards == 1 {
 		for _, pm := range e.shards[0].pending {
-			e.emit(pm.m)
+			e.emitOne(pm, win)
 		}
 		return
 	}
@@ -156,8 +157,23 @@ func (e *Engine) emitPending() {
 		})
 	}
 	for _, pm := range all {
-		e.emit(pm.m)
+		e.emitOne(pm, win)
 	}
+}
+
+// emitOne records the match's provenance (when tracing is on) and emits
+// it. Match ids are assigned by the journal here, in emission order, so
+// ids as well as records are worker-count invariant.
+func (e *Engine) emitOne(pm pendingMatch, win *windowResult) {
+	if win.tr != nil {
+		var audit *trace.AuditResult
+		if res, ok := e.auditRes[auditKey{pm.start, pm.qid}]; ok {
+			audit = res
+		}
+		win.tr.RecordMatch(pm.qid, pm.m.StartFrame, pm.m.EndFrame,
+			pm.m.DetectedAt, pm.m.Windows, pm.m.Similarity, audit)
+	}
+	e.emit(pm.m)
 }
 
 // foldShardStats folds the window's per-shard deltas into the engine

@@ -116,9 +116,10 @@ func (qs *QuerySet) Add(id int, cellIDs []uint64) error {
 		return fmt.Errorf("core: query id %d already subscribed", id)
 	}
 	q := &queryInfo{
-		id:     id,
-		frames: len(cellIDs),
-		sketch: qs.fam.SketchSet(cellIDs),
+		id:      id,
+		frames:  len(cellIDs),
+		sketch:  qs.fam.SketchSet(cellIDs),
+		cellIDs: append([]uint64(nil), cellIDs...),
 	}
 	return qs.insert(q)
 }

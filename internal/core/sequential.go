@@ -3,6 +3,7 @@ package core
 import (
 	"vdsms/internal/bitsig"
 	"vdsms/internal/minhash"
+	"vdsms/internal/trace"
 )
 
 // seqCandidate is one entry of the Sequential-order candidate list: the
@@ -74,7 +75,17 @@ func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryView)
 	for _, qid := range sortedSigKeys(rel) {
 		sig := rel[qid]
 		s.d.sigTests++
-		if sim := sig.Similarity(); sim >= e.cfg.Delta {
+		sim := sig.Similarity()
+		if win.tr != nil {
+			l := win.tr.Shard(s.id)
+			l.Add(trace.Extended, qid, win.startFrame, win.endFrame, 1, sim, 0)
+			if sim >= e.cfg.Delta {
+				l.Add(trace.Reported, qid, win.startFrame, win.endFrame, 1, sim, 0)
+			} else if sim >= e.cfg.Delta-win.nearEps {
+				l.Add(trace.NearMiss, qid, win.startFrame, win.endFrame, 1, sim, e.cfg.Delta-sim)
+			}
+		}
+		if sim >= e.cfg.Delta {
 			s.push(0, win.startFrame, qid, newMatch(qid, win.startFrame, win.endFrame, 1, sim))
 			s.newReported[qid] = true
 		}
@@ -91,23 +102,45 @@ func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryView)
 			sig := sigs[qid]
 			q := view.lookup(qid)
 			if q == nil || c.windows > e.maxWindowsOf(q) {
+				if win.tr != nil {
+					win.tr.Shard(s.id).Add(trace.Expired, qid, c.startFrame, win.endFrame, c.windows, -1, 0)
+				}
 				delete(sigs, qid)
 				continue
 			}
 			wsig := rel[qid]
 			if wsig == nil { // unrelated or pruned: cascade the drop
+				if win.tr != nil {
+					win.tr.Shard(s.id).Add(trace.Dropped, qid, c.startFrame, win.endFrame, c.windows, -1, 0)
+				}
 				delete(sigs, qid)
 				continue
 			}
 			sig.Or(wsig)
 			s.d.sigOrs++
 			if !e.cfg.DisablePrune && sig.Prunable(e.cfg.Delta) {
+				if win.tr != nil {
+					margin := (float64(sig.LessCount()) - float64(e.cfg.K)*(1-e.cfg.Delta)) / float64(e.cfg.K)
+					win.tr.Shard(s.id).Add(trace.Pruned, qid, c.startFrame, win.endFrame, c.windows, sig.Similarity(), margin)
+				}
 				delete(sigs, qid)
 				s.d.pruned++
 				continue
 			}
 			s.d.sigTests++
-			if sim := sig.Similarity(); sim >= e.cfg.Delta && !c.reported[s.id][qid] {
+			sim := sig.Similarity()
+			if win.tr != nil {
+				l := win.tr.Shard(s.id)
+				l.Add(trace.Extended, qid, c.startFrame, win.endFrame, c.windows, sim, 0)
+				if !c.reported[s.id][qid] {
+					if sim >= e.cfg.Delta {
+						l.Add(trace.Reported, qid, c.startFrame, win.endFrame, c.windows, sim, 0)
+					} else if sim >= e.cfg.Delta-win.nearEps {
+						l.Add(trace.NearMiss, qid, c.startFrame, win.endFrame, c.windows, sim, e.cfg.Delta-sim)
+					}
+				}
+			}
+			if sim >= e.cfg.Delta && !c.reported[s.id][qid] {
 				s.push(1, c.startFrame, qid, newMatch(qid, c.startFrame, win.endFrame, c.windows, sim))
 				c.reported[s.id][qid] = true
 			}
@@ -126,7 +159,17 @@ func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryVi
 		}
 		eq, _ := minhash.CompareCounts(win.sketch, q.sketch)
 		s.d.sketchCompares++
-		if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta {
+		sim := float64(eq) / float64(e.cfg.K)
+		if win.tr != nil {
+			l := win.tr.Shard(s.id)
+			l.Add(trace.Extended, qid, win.startFrame, win.endFrame, 1, sim, 0)
+			if sim >= e.cfg.Delta {
+				l.Add(trace.Reported, qid, win.startFrame, win.endFrame, 1, sim, 0)
+			} else if sim >= e.cfg.Delta-win.nearEps {
+				l.Add(trace.NearMiss, qid, win.startFrame, win.endFrame, 1, sim, e.cfg.Delta-sim)
+			}
+		}
+		if sim >= e.cfg.Delta {
 			s.push(0, win.startFrame, qid, newMatch(qid, win.startFrame, win.endFrame, 1, sim))
 			s.newReported[qid] = true
 		}
@@ -139,17 +182,36 @@ func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryVi
 		for _, qid := range sortedSetKeys(relM) {
 			q := view.lookup(qid)
 			if q == nil || c.windows > e.maxWindowsOf(q) {
+				if win.tr != nil {
+					win.tr.Shard(s.id).Add(trace.Expired, qid, c.startFrame, win.endFrame, c.windows, -1, 0)
+				}
 				delete(relM, qid)
 				continue
 			}
 			eq, less := minhash.CompareCounts(c.sketch, q.sketch)
 			s.d.sketchCompares++
+			sim := float64(eq) / float64(e.cfg.K)
 			if !e.cfg.DisablePrune && float64(less) > float64(e.cfg.K)*(1-e.cfg.Delta) {
+				if win.tr != nil {
+					margin := (float64(less) - float64(e.cfg.K)*(1-e.cfg.Delta)) / float64(e.cfg.K)
+					win.tr.Shard(s.id).Add(trace.Pruned, qid, c.startFrame, win.endFrame, c.windows, sim, margin)
+				}
 				delete(relM, qid)
 				s.d.pruned++
 				continue
 			}
-			if sim := float64(eq) / float64(e.cfg.K); sim >= e.cfg.Delta && !c.reported[s.id][qid] {
+			if win.tr != nil {
+				l := win.tr.Shard(s.id)
+				l.Add(trace.Extended, qid, c.startFrame, win.endFrame, c.windows, sim, 0)
+				if !c.reported[s.id][qid] {
+					if sim >= e.cfg.Delta {
+						l.Add(trace.Reported, qid, c.startFrame, win.endFrame, c.windows, sim, 0)
+					} else if sim >= e.cfg.Delta-win.nearEps {
+						l.Add(trace.NearMiss, qid, c.startFrame, win.endFrame, c.windows, sim, e.cfg.Delta-sim)
+					}
+				}
+			}
+			if sim >= e.cfg.Delta && !c.reported[s.id][qid] {
 				s.push(1, c.startFrame, qid, newMatch(qid, c.startFrame, win.endFrame, c.windows, sim))
 				c.reported[s.id][qid] = true
 			}
@@ -172,6 +234,8 @@ func (e *Engine) seqPostPass(win *windowResult, view *queryView) {
 		}
 		if alive {
 			kept = append(kept, c)
+		} else if win.tr != nil {
+			win.tr.Serial().Add(trace.Expired, -1, c.startFrame, win.endFrame, c.windows, -1, 0)
 		}
 	}
 	for i := len(kept); i < len(e.seq); i++ {
@@ -218,6 +282,9 @@ func (e *Engine) seqPostPass(win *windowResult, view *queryView) {
 		}
 		if tracked > 0 {
 			e.seq = append(e.seq, c)
+			if win.tr != nil {
+				win.tr.Serial().Add(trace.Born, -1, c.startFrame, win.endFrame, 1, -1, 0)
+			}
 		}
 	}
 

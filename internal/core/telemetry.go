@@ -75,8 +75,9 @@ type SlowWindowTrace struct {
 // observeWindow publishes one processed window's stage spans into the
 // histograms and, when the window blew its budget, hands the breakdown to
 // the tracer. Called once per window from processWindow, only when timing
-// was armed.
-func (e *Engine) observeWindow(win *windowResult, sketch, merge, total time.Duration) {
+// was armed. budget is the slow-window threshold resolved for this window
+// (the runtime-adjustable SlowVar when wired, else SlowWindow).
+func (e *Engine) observeWindow(win *windowResult, budget time.Duration, sketch, merge, total time.Duration) {
 	var probeNS, combineNS int64
 	for _, s := range e.shards {
 		if s.d.probeNS > probeNS {
@@ -95,12 +96,12 @@ func (e *Engine) observeWindow(win *windowResult, sketch, merge, total time.Dura
 		telStageMerge.ObserveDuration(merge)
 		telStageWindow.ObserveDuration(total)
 	}
-	if e.SlowWindow > 0 && total > e.SlowWindow && e.OnSlowWindow != nil {
+	if budget > 0 && total > budget && e.OnSlowWindow != nil {
 		e.OnSlowWindow(SlowWindowTrace{
 			StartFrame: win.startFrame,
 			EndFrame:   win.endFrame,
 			Related:    win.relatedLen(),
-			Budget:     e.SlowWindow,
+			Budget:     budget,
 			Total:      total,
 			Sketch:     sketch,
 			Probe:      probe,

@@ -12,6 +12,9 @@
 //	GET    /healthz                            → liveness (always 200)
 //	GET    /readyz                             → readiness (200 once restore-on-boot completed)
 //	POST   /snapshot                           → checkpoint service state now
+//	GET    /debug/events                       → candidate-lifecycle event journal (filterable)
+//	GET    /debug/matches[/{id}]               → match provenance (explain) records
+//	GET/POST /debug/slow-window                → read / retune the slow-window budget live
 //	/debug/pprof/*                             → profiling (opt-in via Options.EnablePprof)
 //
 // Every stream POST gets its own detection engine; all engines share one
@@ -151,6 +154,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("/debug/matches", s.handleDebugMatches)
+	mux.HandleFunc("/debug/matches/", s.handleDebugMatches)
+	mux.HandleFunc("/debug/slow-window", s.handleSlowWindow)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -282,7 +289,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "stream name required", http.StatusBadRequest)
 		return
 	}
-	det, err := s.root.NewStream()
+	det, err := s.root.NewStreamNamed(name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -367,6 +374,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workers":        s.workers,
 		"shardCompared":  compared,
 		"checkpointing":  s.root.CheckpointingEnabled(),
+		"tracing":        s.root.Tracing(),
+		"slowWindow":     s.root.SlowWindowBudget().String(),
 	})
 }
 

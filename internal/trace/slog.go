@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// LogEvents bridges a journal to structured logging: a background goroutine
+// subscribes to the journal and emits one slog record per event (vcd.event
+// message, lifecycle fields as attributes). Returns a stop function that
+// unsubscribes and waits for the goroutine to exit — the goroutine-leak
+// guarantee the test suite pins down.
+//
+// Slow handlers cannot stall the matching kernel: the subscription channel
+// drops batches when full (counted by vcd_trace_subscriber_dropped_total).
+func LogEvents(j *Journal, logger *slog.Logger) (stop func()) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	ch, cancel := j.Subscribe(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for batch := range ch {
+			for _, ev := range batch {
+				attrs := []slog.Attr{
+					slog.Uint64("seq", ev.Seq),
+					slog.String("stream", ev.StreamName),
+					slog.String("kind", ev.Kind.String()),
+					slog.Int("query", int(ev.QID)),
+					slog.Int("startFrame", int(ev.Start)),
+					slog.Int("endFrame", int(ev.End)),
+					slog.Int("windows", int(ev.Windows)),
+				}
+				if ev.Estimate >= 0 {
+					attrs = append(attrs, slog.Float64("estimate", float64(ev.Estimate)))
+				}
+				if ev.Margin != 0 {
+					attrs = append(attrs, slog.Float64("margin", float64(ev.Margin)))
+				}
+				logger.LogAttrs(context.Background(), slog.LevelInfo, "vcd.event", attrs...)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}

@@ -61,12 +61,17 @@ func (cfg Config) slowWindowBudget() time.Duration {
 // armSlowWindow wires the engine's tracer to this detector: traces bump
 // the slow-window counter and go to OnSlowWindow when set, else to the log
 // as one structured line per offending window.
+//
+// The tracer is always wired, with the budget held in a runtime-adjustable
+// SlowBudget shared across the detector's lineage (NewStream copies it),
+// so SetSlowWindow — and POST /debug/slow-window — can arm, retune or
+// disarm tracing live. A zero budget keeps the per-window cost at exactly
+// the disabled path's (the engine checks the budget before timing).
 func (d *Detector) armSlowWindow(eng *core.Engine) {
-	budget := d.cfg.slowWindowBudget()
-	if budget <= 0 {
-		return
+	if d.slowVar == nil {
+		d.slowVar = core.NewSlowBudget(d.cfg.slowWindowBudget())
 	}
-	eng.SlowWindow = budget
+	eng.SlowVar = d.slowVar
 	eng.OnSlowWindow = func(tr SlowWindowTrace) {
 		telSlowWindows.Inc()
 		if d.OnSlowWindow != nil {
@@ -78,6 +83,20 @@ func (d *Detector) armSlowWindow(eng *core.Engine) {
 			tr.Total, tr.Budget, tr.Sketch, tr.Probe, tr.Combine, tr.Merge, tr.Related)
 	}
 }
+
+// SetSlowWindow retunes the slow-window budget at runtime: the new value
+// takes effect at the next basic window of every engine sharing this
+// detector's lineage (the detector itself plus its NewStream siblings).
+// Non-positive disables slow-window tracing.
+func (d *Detector) SetSlowWindow(budget time.Duration) {
+	if budget < 0 {
+		budget = 0
+	}
+	d.slowVar.Set(budget)
+}
+
+// SlowWindowBudget returns the live slow-window budget (zero = disabled).
+func (d *Detector) SlowWindowBudget() time.Duration { return d.slowVar.Get() }
 
 // frontEndTimer accumulates the decode and extract spans of the frames
 // filling one basic window and flushes them as one observation per stage

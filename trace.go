@@ -1,0 +1,113 @@
+// Facade-level decision provenance: arming the candidate-lifecycle event
+// journal and the sampled exact-audit channel, plus the explain API that
+// vcdmon -explain and the server's /debug endpoints consume.
+package vdsms
+
+import (
+	"math"
+
+	"vdsms/internal/core"
+	"vdsms/internal/trace"
+)
+
+// TraceEvent is one candidate-lifecycle observation; see internal/trace
+// for kind semantics (born, extended, pruned, dropped, expired, reported,
+// near_miss).
+type TraceEvent = trace.Event
+
+// MatchRecord is the provenance record attached to an emitted match:
+// window span, per-window estimate trajectory, combination order,
+// signature method and (when sampled) the exact-audit measurement.
+type MatchRecord = trace.MatchRecord
+
+// AuditResult is one sampled exact-Jaccard audit of a report or prune
+// decision, judged against Theorem 1's deviation bound.
+type AuditResult = trace.AuditResult
+
+// armTrace wires decision-provenance tracing into a freshly built engine.
+// The first call (per detector) creates the journal recorder; engine swaps
+// (LoadDetector, Resume) re-install the same recorder so the detector
+// keeps its journal stream. No-op when neither Config.TraceEvents nor
+// Config.AuditFraction arms tracing.
+func (d *Detector) armTrace(eng *core.Engine) {
+	if d.tracer == nil {
+		if d.cfg.TraceEvents <= 0 && d.cfg.AuditFraction <= 0 {
+			return
+		}
+		if d.cfg.TraceEvents > trace.DefaultEventCap {
+			trace.Default.SetEventCapacity(d.cfg.TraceEvents)
+		}
+		d.tracer = eng.Trace(trace.Default, d.cfg.StreamName)
+	} else {
+		eng.SetTracer(d.tracer)
+	}
+	if f := d.cfg.AuditFraction; f > 0 {
+		every := 1
+		if f < 1 {
+			every = int(math.Round(1 / f))
+			if every < 1 {
+				every = 1
+			}
+		}
+		eng.SetAudit(every)
+	}
+}
+
+// Tracing reports whether decision-provenance tracing is armed.
+func (d *Detector) Tracing() bool { return d.tracer != nil }
+
+// StreamName returns this detector's trace-journal stream name, or "" when
+// tracing is off.
+func (d *Detector) StreamName() string {
+	if d.tracer == nil {
+		return ""
+	}
+	return d.tracer.StreamName()
+}
+
+// LastMatchID returns the journal id of this detector's most recent match
+// (0 when tracing is off or no match was emitted yet). Valid inside an
+// OnMatch callback: the provenance record exists before the callback runs.
+func (d *Detector) LastMatchID() uint64 { return d.tracer.LastMatchID() }
+
+// MatchRecord returns the provenance record of a match by journal id, if
+// tracing is armed and the record is still retained by the bounded ring.
+func (d *Detector) MatchRecord(id uint64) (MatchRecord, bool) {
+	if d.tracer == nil {
+		return MatchRecord{}, false
+	}
+	return d.tracer.Journal().Match(id)
+}
+
+// MatchRecords returns the retained provenance records of this detector's
+// stream, oldest first (up to limit; 0 means all retained).
+func (d *Detector) MatchRecords(limit int) []MatchRecord {
+	if d.tracer == nil {
+		return nil
+	}
+	name := d.tracer.StreamName()
+	all := d.tracer.Journal().Matches(0)
+	out := all[:0]
+	for _, rec := range all {
+		if rec.Stream == name {
+			out = append(out, rec)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// TraceEvents returns the retained lifecycle events of this detector's
+// stream, oldest first (up to limit; 0 means all retained).
+func (d *Detector) TraceEvents(limit int) []TraceEvent {
+	if d.tracer == nil {
+		return nil
+	}
+	return d.tracer.Journal().Events(trace.Filter{
+		Stream: d.tracer.StreamName(),
+		Kind:   trace.KindAny,
+		Limit:  limit,
+	})
+}

@@ -35,6 +35,7 @@ import (
 	"vdsms/internal/mpeg"
 	"vdsms/internal/partition"
 	"vdsms/internal/snapshot"
+	"vdsms/internal/trace"
 )
 
 // Config parameterises a Detector. DefaultConfig returns the paper's
@@ -95,8 +96,27 @@ type Config struct {
 	// defers to the TELEMETRY_SLOW_WINDOW environment variable; negative
 	// disables tracing even when the variable is set. The natural budget
 	// for live input is WindowSec — pass TELEMETRY_SLOW_WINDOW=budget for
-	// exactly that.
+	// exactly that. The budget is runtime-adjustable after construction via
+	// Detector.SetSlowWindow (and POST /debug/slow-window on the server).
 	SlowWindow time.Duration
+	// TraceEvents arms decision-provenance tracing: candidate-lifecycle
+	// events (born, extended, pruned, dropped, expired, reported, near_miss)
+	// are journaled in a bounded process-wide ring of this many events, and
+	// every emitted match gets a provenance record (see Detector.MatchRecord).
+	// Zero disables tracing — the matching kernel then does no extra work at
+	// all. Capacities below the default still arm tracing at the default
+	// ring size.
+	TraceEvents int
+	// AuditFraction, in (0, 1], arms the sampled exact-audit channel (and
+	// implies tracing): about this fraction of report and prune decisions
+	// are recomputed exactly from raw cell-id sets and scored against
+	// Theorem 1's deviation bound, feeding the vcd_sketch_error_abs
+	// histograms and vcd_sketch_error_bound_violations_total. Zero disables
+	// auditing.
+	AuditFraction float64
+	// StreamName labels this detector's stream in the trace journal and the
+	// /debug/events output. Empty auto-assigns "stream-N".
+	StreamName string
 }
 
 // DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
@@ -149,6 +169,12 @@ type Detector struct {
 	// recovery is at-least-once for the frames after the last checkpoint —
 	// so they are reported here instead of through OnMatch.
 	Replayed []Match
+
+	// Decision-provenance state (see trace.go): the journal recorder when
+	// tracing is armed, and the runtime-adjustable slow-window budget shared
+	// by every engine of this detector's lineage.
+	tracer  *trace.Recorder
+	slowVar *core.SlowBudget
 
 	// Checkpoint state (armed when Config.CheckpointDir is set).
 	wal      *snapshot.WAL
@@ -215,6 +241,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	d := &Detector{cfg: cfg, pipeline: pipeline{ex: ex, pt: pt}, engine: eng, winKeyF: winKeyF}
 	eng.OnMatch = d.forward
 	d.armSlowWindow(eng)
+	d.armTrace(eng)
 	return d, nil
 }
 
@@ -224,7 +251,13 @@ func NewDetector(cfg Config) (*Detector, error) {
 // as in the paper's multi-stream setting); per-stream candidate state is
 // independent, so the returned detector may run in its own goroutine.
 // AddQuery/RemoveQuery through any sharing detector affects all of them.
-func (d *Detector) NewStream() (*Detector, error) {
+func (d *Detector) NewStream() (*Detector, error) { return d.NewStreamNamed("") }
+
+// NewStreamNamed is NewStream with an explicit trace-journal stream name
+// (shown by /debug/events and match records; empty auto-assigns one). The
+// new detector shares this detector's runtime-adjustable slow-window
+// budget, so one POST /debug/slow-window reaches every stream.
+func (d *Detector) NewStreamNamed(name string) (*Detector, error) {
 	eng, err := core.NewEngineWith(d.engine.Config(), d.engine.Queries())
 	if err != nil {
 		return nil, err
@@ -233,9 +266,12 @@ func (d *Detector) NewStream() (*Detector, error) {
 	// One checkpoint directory holds one detector lineage; additional
 	// streams share the query set but must manage their own durability.
 	ncfg.CheckpointDir = ""
-	nd := &Detector{cfg: ncfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF}
+	ncfg.StreamName = name
+	nd := &Detector{cfg: ncfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF,
+		slowVar: d.slowVar}
 	eng.OnMatch = nd.forward
 	nd.armSlowWindow(eng)
+	nd.armTrace(eng)
 	return nd, nil
 }
 
@@ -268,6 +304,7 @@ func LoadDetector(cfg Config, r io.Reader) (*Detector, error) {
 	d.engine = eng
 	eng.OnMatch = d.forward
 	d.armSlowWindow(eng)
+	d.armTrace(eng)
 	return d, nil
 }
 
