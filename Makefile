@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke clean
 
 all: build test
 
@@ -45,6 +45,17 @@ fuzz:
 	$(GO) test ./internal/bitio -fuzz FuzzReader -fuzztime 30s
 	$(GO) test ./internal/mpeg -fuzz FuzzPartialDecoder -fuzztime 30s
 	$(GO) test ./internal/mpeg -fuzz FuzzFullDecoder -fuzztime 30s
+	$(GO) test ./cmd/vcdeval -fuzz FuzzParseTruth -fuzztime 30s
+	$(GO) test ./cmd/vcdeval -fuzz FuzzReadReports -fuzztime 30s
+
+# Reduced-scale temporal-attack robustness suite under the race detector:
+# attack-transform invariants, per-family evaluation, and the end-to-end
+# detection recall floors. Writes per-family P/R reports (JSON + CSV) into
+# robustness-report/.
+robustness-smoke:
+	ROBUSTNESS_REPORT_DIR=$(CURDIR)/robustness-report $(GO) test -race -count=1 \
+		-run 'TestRobustnessSmoke|TestTemporal|TestBuildAttack|TestEvaluateByFamily|TestReportGolden' \
+		./internal/edit ./internal/workload ./internal/experiments ./cmd/vcdeval
 
 # Crash-recovery sweep under the race detector: snapshot/restore at every
 # window boundary and worker-count combination must reproduce the

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTruth feeds arbitrary bytes through the truth parser. The
+// parser may reject input with an error but must never panic, and every
+// accepted insertion must satisfy the invariants the evaluator relies on:
+// End ≥ Begin ≥ 0.
+func FuzzParseTruth(f *testing.F) {
+	f.Add("1 10.00 30.00\n")
+	f.Add("1 10.00 30.00 speed 1.25x\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("1 30 10\n")                    // out of order
+	f.Add("x y z\n")                      // non-numeric
+	f.Add("1 1e309 2e309")                // ±Inf after parse
+	f.Add("1 NaN NaN\n")                  // non-finite
+	f.Add("9999999999999999999999 1 2\n") // id overflow
+	f.Add(strings.Repeat("1 1 2\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		truth, err := parseTruth(strings.NewReader(input), 2, "fuzz")
+		if err != nil {
+			return
+		}
+		for i, ins := range truth {
+			if ins.Begin < 0 || ins.End < ins.Begin {
+				t.Fatalf("accepted invalid interval %d: %+v (input %q)", i, ins, input)
+			}
+		}
+	})
+}
+
+// FuzzReadReports feeds arbitrary transcripts through the match-line
+// parser, which must skip garbage silently and never panic or emit a
+// negative position.
+func FuzzReadReports(f *testing.F) {
+	f.Add("MATCH query=1 at=25.0s start=10.0s end=25.0s sim=0.700\n")
+	f.Add("MATCH query=1 at=-5s\n")
+	f.Add("MATCH query= at=s\n")
+	f.Add("MATCH at=1s query=2\n")
+	f.Add("MATCH query=1 at=1e308s\n")
+	f.Add("not a match line\nMATCH \n")
+	f.Add("MATCH query=1 at=NaNs\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		reports, err := readReports(strings.NewReader(input), 2)
+		if err != nil {
+			return
+		}
+		for i, r := range reports {
+			if r.P < 0 {
+				t.Fatalf("report %d has negative position %d (input %q)", i, r.P, input)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden pins the machine-readable report schema byte for byte.
+// Dashboard consumers parse this output; any change here is a breaking
+// schema change and must be deliberate (rerun with -update and bump
+// workload.ReportSchema when the shape changes).
+func TestReportGolden(t *testing.T) {
+	truth := writeTruth(t,
+		"1 10.00 30.00 none verbatim\n"+
+			"2 50.00 70.00 speed 1.25x\n"+
+			"3 100.00 120.00 drop 15%\n")
+	transcript := "MATCH query=1 at=20.0s start=10.0s end=20.0s sim=0.750\n" +
+		"MATCH query=2 at=60.0s start=52.0s end=60.0s sim=0.710\n" +
+		"MATCH query=2 at=400.0s start=395.0s end=400.0s sim=0.700\n" + // false positive
+		"MATCH query=9 at=10.0s\n" // unattributed query
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "report.csv")
+	var out strings.Builder
+	if err := run(truth, 5, 2, jsonPath, csvPath, strings.NewReader(transcript), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ got, golden string }{
+		{jsonPath, "testdata/report.json.golden"},
+		{csvPath, "testdata/report.csv.golden"},
+	} {
+		got, err := os.ReadFile(tc.got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(tc.golden), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(tc.golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(tc.golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./cmd/vcdeval -run TestReportGolden -update` to create)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s drifted from golden schema.\ngot:\n%s\nwant:\n%s", tc.golden, got, want)
+		}
+	}
+}

@@ -1,13 +1,21 @@
 // Command vcdeval scores a monitor's output against a scenario's ground
-// truth, computing precision and recall under the paper's correctness rule
-// (a report at position p for query Q counts iff Q.begin+w ≤ p ≤ Q.end+w).
+// truth, computing precision, recall and localization error under the
+// paper's correctness rule (a report at position p for query Q counts iff
+// Q.begin+w ≤ p ≤ Q.end+w).
 //
 //	vcdgen scenario -dir scen -queries 10 -edited
 //	vcdmon -q scen/query-1.mvc ... scen/stream.mvc | vcdeval -truth scen/truth.txt
 //
+// Truth written by `vcdgen attack` carries two extra columns naming the
+// temporal-attack family and preset behind each insertion
+// ("id begin end family preset"); vcdeval then also reports per-family
+// precision/recall/localization, the robustness dashboard's input. The
+// plain three-column form of `vcdgen scenario` remains accepted.
+//
 // Match lines are vcdmon's format ("MATCH query=<id> at=<sec>s ...");
-// anything else on stdin is ignored. Truth lines are "id begin end" in
-// seconds, as written by vcdgen scenario.
+// anything else on stdin is ignored. -json and -csv emit the
+// machine-readable report (schema "vcdeval/v1", pinned by golden tests)
+// to a file, or to stdout when the path is "-".
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -27,24 +36,32 @@ func main() {
 	truthPath := flag.String("truth", "", "ground-truth file (required)")
 	window := flag.Float64("window", 5, "basic window w in seconds (evaluation slack)")
 	keyFPS := flag.Float64("keyfps", 2, "key-frame rate used to convert seconds to frames")
+	jsonPath := flag.String("json", "", "write the machine-readable report as JSON to this file ('-' = stdout)")
+	csvPath := flag.String("csv", "", "write the machine-readable report as CSV to this file ('-' = stdout)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("vcdeval"))
 		return
 	}
-	if *truthPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: vcdmon ... | vcdeval -truth truth.txt [-window 5]")
+	if *truthPath == "" || *keyFPS <= 0 || *window < 0 {
+		if *keyFPS <= 0 {
+			fmt.Fprintln(os.Stderr, "vcdeval: -keyfps must be positive")
+		}
+		if *window < 0 {
+			fmt.Fprintln(os.Stderr, "vcdeval: -window must be non-negative")
+		}
+		fmt.Fprintln(os.Stderr, "usage: vcdmon ... | vcdeval -truth truth.txt [-window 5] [-json out.json] [-csv out.csv]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*truthPath, *window, *keyFPS, os.Stdin, os.Stdout); err != nil {
+	if err := run(*truthPath, *window, *keyFPS, *jsonPath, *csvPath, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vcdeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(truthPath string, windowSec, keyFPS float64, in io.Reader, out io.Writer) error {
+func run(truthPath string, windowSec, keyFPS float64, jsonPath, csvPath string, in io.Reader, out io.Writer) error {
 	truth, err := readTruth(truthPath, keyFPS)
 	if err != nil {
 		return err
@@ -53,50 +70,131 @@ func run(truthPath string, windowSec, keyFPS float64, in io.Reader, out io.Write
 	if err != nil {
 		return err
 	}
-	ev := workload.Evaluate(reports, truth, int(windowSec*keyFPS))
+	w := int(windowSec * keyFPS)
+	plain := make([]workload.Insertion, len(truth))
+	for i, ins := range truth {
+		plain[i] = ins.Insertion
+	}
+	ev := workload.Evaluate(reports, plain, w)
+	fams := workload.EvaluateByFamily(reports, truth, w)
+	rep := workload.NewFamilyReport(ev, fams, windowSec, keyFPS)
+
 	fmt.Fprintf(out, "reports=%d correct=%d inserted=%d detected=%d\n",
 		ev.Reported, ev.Correct, ev.Inserted, ev.Detected)
-	fmt.Fprintf(out, "precision=%.3f recall=%.3f\n", ev.Precision, ev.Recall)
-	return nil
+	fmt.Fprintf(out, "precision=%.3f recall=%.3f loc-err=%.2fs\n",
+		ev.Precision, ev.Recall, ev.MeanLocErr()/keyFPS)
+	if hasFamilies(truth) {
+		fmt.Fprintf(out, "\n%-16s %9s %9s %9s %9s %11s\n",
+			"family", "precision", "recall", "reports", "inserted", "loc-err(s)")
+		for _, fr := range fams {
+			fmt.Fprintf(out, "%-16s %9.3f %9.3f %9d %9d %11.2f\n",
+				fr.Family, fr.Precision, fr.Recall, fr.Reported, fr.Inserted, fr.MeanLocErr()/keyFPS)
+		}
+	}
+	if err := writeReport(jsonPath, rep.WriteJSON, out); err != nil {
+		return err
+	}
+	return writeReport(csvPath, rep.WriteCSV, out)
 }
 
-// readTruth parses "id begin end" lines (seconds) into key-frame intervals.
-func readTruth(path string, keyFPS float64) ([]workload.Insertion, error) {
+// hasFamilies reports whether any truth line carried attack metadata.
+func hasFamilies(truth []workload.AttackInsertion) bool {
+	for _, ins := range truth {
+		if ins.Family != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeReport renders via fn to path ("" = skip, "-" = the main output).
+func writeReport(path string, fn func(io.Writer) error, out io.Writer) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return fn(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// maxSeconds bounds accepted timestamps (≈ 3 years of stream) so corrupt
+// input cannot push the seconds→frame conversion into integer overflow.
+const maxSeconds = 1e8
+
+// readTruth parses ground truth from path; see parseTruth.
+func readTruth(path string, keyFPS float64) ([]workload.AttackInsertion, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var out []workload.Insertion
-	sc := bufio.NewScanner(f)
+	return parseTruth(f, keyFPS, path)
+}
+
+// parseTruth parses "id begin end" or "id begin end family preset" lines
+// (seconds) into key-frame intervals, rejecting malformed fields,
+// non-finite or out-of-range timestamps, and intervals that end before
+// they begin.
+func parseTruth(r io.Reader, keyFPS float64, name string) ([]workload.AttackInsertion, error) {
+	var out []workload.AttackInsertion
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for line := 1; sc.Scan(); line++ {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want 'id begin end', got %q", path, line, sc.Text())
+		if len(fields) != 3 && len(fields) != 5 {
+			return nil, fmt.Errorf("%s:%d: want 'id begin end [family preset]', got %q", name, line, sc.Text())
 		}
 		id, err1 := strconv.Atoi(fields[0])
 		begin, err2 := strconv.ParseFloat(fields[1], 64)
 		end, err3 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("%s:%d: malformed truth line %q", path, line, sc.Text())
+			return nil, fmt.Errorf("%s:%d: malformed truth line %q", name, line, sc.Text())
 		}
-		out = append(out, workload.Insertion{
-			QueryID: id,
-			Begin:   int(begin * keyFPS),
-			End:     int(end * keyFPS),
-		})
+		if !inRange(begin) || !inRange(end) {
+			return nil, fmt.Errorf("%s:%d: timestamp out of range in %q", name, line, sc.Text())
+		}
+		if end < begin {
+			return nil, fmt.Errorf("%s:%d: insertion ends (%g) before it begins (%g)", name, line, end, begin)
+		}
+		ins := workload.AttackInsertion{
+			Insertion: workload.Insertion{
+				QueryID: id,
+				Begin:   int(begin * keyFPS),
+				End:     int(end * keyFPS),
+			},
+		}
+		if len(fields) == 5 {
+			ins.Family, ins.Preset = fields[3], fields[4]
+		}
+		out = append(out, ins)
 	}
 	return out, sc.Err()
 }
 
+// inRange accepts finite, non-negative timestamps below maxSeconds.
+func inRange(sec float64) bool {
+	return !math.IsNaN(sec) && sec >= 0 && sec <= maxSeconds
+}
+
 // readReports extracts "MATCH query=<id> at=<sec>s" events from a monitor
-// transcript.
+// transcript. Lines that are not well-formed match events are ignored —
+// monitor output interleaves logs with matches by design.
 func readReports(in io.Reader, keyFPS float64) ([]workload.Position, error) {
 	var out []workload.Position
 	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "MATCH ") {
@@ -113,7 +211,7 @@ func readReports(in io.Reader, keyFPS float64) ([]workload.Position, error) {
 				}
 			case strings.HasPrefix(f, "at="):
 				s := strings.TrimSuffix(f[3:], "s")
-				if v, err := strconv.ParseFloat(s, 64); err == nil {
+				if v, err := strconv.ParseFloat(s, 64); err == nil && inRange(v) {
 					at, ok = v, ok+1
 				}
 			}

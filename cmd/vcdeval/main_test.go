@@ -31,10 +31,36 @@ func TestReadTruth(t *testing.T) {
 	if truth[1].Begin != 101 {
 		t.Errorf("second begin %d, want 101", truth[1].Begin)
 	}
+	if truth[0].Family != "" || truth[0].Preset != "" {
+		t.Errorf("three-column truth picked up attack metadata: %+v", truth[0])
+	}
+}
+
+func TestReadTruthAttackMetadata(t *testing.T) {
+	p := writeTruth(t, "1 10.00 30.00 speed 1.25x\n2 50.00 70.00 none verbatim\n")
+	truth, err := readTruth(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth[0].Family != "speed" || truth[0].Preset != "1.25x" {
+		t.Errorf("first insertion metadata %+v", truth[0])
+	}
+	if truth[1].Family != "none" {
+		t.Errorf("second insertion metadata %+v", truth[1])
+	}
 }
 
 func TestReadTruthErrors(t *testing.T) {
-	for _, bad := range []string{"1 2\n", "x 1 2\n", "1 a 2\n"} {
+	for _, bad := range []string{
+		"1 2\n",           // too few fields
+		"x 1 2\n",         // non-numeric id
+		"1 a 2\n",         // non-numeric begin
+		"1 2 3 family\n",  // four fields
+		"1 30.0 10.0\n",   // ends before it begins
+		"1 -5 10\n",       // negative timestamp
+		"1 NaN 10\n",      // non-finite
+		"1 1e300 2e300\n", // out of range
+	} {
 		p := writeTruth(t, bad)
 		if _, err := readTruth(p, 2); err == nil {
 			t.Errorf("truth %q accepted", bad)
@@ -51,6 +77,7 @@ MATCH query=1 at=25.0s start=10.0s end=25.0s sim=0.700
 noise line
 MATCH query=2 at=60.5s start=55.0s end=60.5s sim=0.810
 MATCH malformed line without fields
+MATCH query=3 at=NaNs
 `)
 	reports, err := readReports(in, 2)
 	if err != nil {
@@ -73,7 +100,7 @@ func TestRunEndToEnd(t *testing.T) {
 		"MATCH query=1 at=20.0s start=10.0s end=20.0s sim=0.7\n" + // correct
 			"MATCH query=2 at=200.0s start=190.0s end=200.0s sim=0.7\n") // wrong place
 	var out strings.Builder
-	if err := run(truth, 5, 2, in, &out); err != nil {
+	if err := run(truth, 5, 2, "", "", in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -81,5 +108,51 @@ func TestRunEndToEnd(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+	if strings.Contains(got, "family") {
+		t.Errorf("three-column truth should not print a family table:\n%s", got)
+	}
+}
+
+func TestRunPerFamilyOutput(t *testing.T) {
+	truth := writeTruth(t, "1 10.00 30.00 none verbatim\n2 50.00 70.00 drop 15%\n")
+	in := strings.NewReader(
+		"MATCH query=1 at=20.0s\n" +
+			"MATCH query=2 at=60.0s\n")
+	var out strings.Builder
+	if err := run(truth, 5, 2, "", "", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"family", "none", "drop", "loc-err"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("per-family output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWritesReportFiles(t *testing.T) {
+	truth := writeTruth(t, "1 10.00 30.00 speed 1.25x\n")
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "rep.json")
+	csvPath := filepath.Join(dir, "rep.csv")
+	in := strings.NewReader("MATCH query=1 at=20.0s\n")
+	var out strings.Builder
+	if err := run(truth, 5, 2, jsonPath, csvPath, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(j), `"schema": "vcdeval/v1"`) {
+		t.Errorf("JSON report missing schema:\n%s", j)
+	}
+	c, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(c), "family,precision,recall,") {
+		t.Errorf("CSV report header wrong:\n%s", c)
 	}
 }

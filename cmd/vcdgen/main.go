@@ -22,9 +22,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"vdsms"
 	"vdsms/internal/buildinfo"
+	"vdsms/internal/edit"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/vframe"
 	"vdsms/internal/workload"
@@ -45,6 +47,8 @@ func main() {
 		err = editCmd(os.Args[2:])
 	case "scenario":
 		err = scenarioCmd(os.Args[2:])
+	case "attack":
+		err = attackCmd(os.Args[2:])
 	case "fromimages":
 		err = fromImagesCmd(os.Args[2:])
 	default:
@@ -61,6 +65,7 @@ func usage() {
   vcdgen clip -out FILE [-seconds N] [-seed N] [-fps N] [-w N] [-h N] [-quality N] [-gop N]
   vcdgen edit -in FILE -out FILE [-brightness N] [-contrast N] [-noise N] [-reorder SEC] [-seed N]
   vcdgen scenario -dir DIR [-queries N] [-edited] [-seed N]
+  vcdgen attack -dir DIR [-queries N] [-families speed,fps,drop,...] [-seed N]
   vcdgen fromimages -out FILE -glob 'frames/*.png' [-fps N] [-w N] [-h N]`)
 	os.Exit(2)
 }
@@ -190,9 +195,6 @@ func scenarioCmd(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("scenario: -dir required")
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
-	}
 	wl := workload.Build(workload.Config{
 		NumShorts: *queries, Seed: *seed, Edited: *edited,
 		ShortMinSec: *shortMin, ShortMaxSec: *shortMax,
@@ -200,9 +202,82 @@ func scenarioCmd(args []string) error {
 		KeyFPS: *keyFPS, Quality: *quality,
 	})
 	cfg := wl.Cfg
+	truthLines := make([]string, len(wl.Truth))
+	for i, ins := range wl.Truth {
+		truthLines[i] = fmt.Sprintf("%d %.2f %.2f", ins.QueryID,
+			float64(ins.Begin)/cfg.KeyFPS, float64(ins.End)/cfg.KeyFPS)
+	}
+	return writeScenario(*dir, wl, truthLines)
+}
 
-	// Stream.
-	sf, err := os.Create(filepath.Join(*dir, "stream.mvc"))
+// attackCmd builds the temporal-attack robustness scenario: every query
+// clip is inserted once per attack family, and truth.txt carries the
+// family/preset columns vcdeval scores per-family numbers from.
+func attackCmd(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	dir := fs.String("dir", "", "output directory (required)")
+	queries := fs.Int("queries", 6, "number of query videos")
+	families := fs.String("families", "", "comma-separated attack families (default: none plus every temporal family)")
+	seed := fs.Int64("seed", 1, "scenario seed")
+	shortMin := fs.Float64("short-min", 0, "min short-video duration (seconds; 0 = default)")
+	shortMax := fs.Float64("short-max", 0, "max short-video duration (seconds)")
+	gapMin := fs.Float64("gap-min", 0, "min gap between inserts (seconds)")
+	gapMax := fs.Float64("gap-max", 0, "max gap between inserts (seconds)")
+	keyFPS := fs.Float64("keyfps", 0, "key-frame rate (0 = default 2)")
+	quality := fs.Int("quality", 0, "encoder quality (0 = default)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("attack: -dir required")
+	}
+	var fams []string
+	if *families != "" {
+		for _, f := range strings.Split(*families, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fams = append(fams, f)
+			}
+		}
+		for _, f := range fams {
+			if err := validFamily(f); err != nil {
+				return err
+			}
+		}
+	}
+	aw := workload.BuildAttack(workload.AttackConfig{
+		Base: workload.Config{
+			NumShorts: *queries, Seed: *seed,
+			ShortMinSec: *shortMin, ShortMaxSec: *shortMax,
+			GapMinSec: *gapMin, GapMaxSec: *gapMax,
+			KeyFPS: *keyFPS, Quality: *quality,
+		},
+		Families: fams,
+	})
+	truthLines := make([]string, len(aw.Meta))
+	for i, ins := range aw.Meta {
+		truthLines[i] = ins.TruthLine(aw.Cfg.KeyFPS)
+	}
+	return writeScenario(*dir, aw.Workload, truthLines)
+}
+
+// validFamily rejects unknown attack-family names with a list of the
+// valid ones (edit.TemporalPresets would panic instead).
+func validFamily(name string) error {
+	valid := append([]string{edit.FamilyNone}, edit.TemporalFamilies()...)
+	for _, f := range valid {
+		if name == f {
+			return nil
+		}
+	}
+	return fmt.Errorf("attack: unknown family %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// writeScenario encodes a workload's stream and queries into dir and
+// writes truth.txt from the prepared lines.
+func writeScenario(dir string, wl *workload.Workload, truthLines []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := wl.Cfg
+	sf, err := os.Create(filepath.Join(dir, "stream.mvc"))
 	if err != nil {
 		return err
 	}
@@ -213,9 +288,8 @@ func scenarioCmd(args []string) error {
 	if err := sf.Close(); err != nil {
 		return err
 	}
-	// Queries.
 	for _, q := range wl.Queries {
-		qf, err := os.Create(filepath.Join(*dir, fmt.Sprintf("query-%d.mvc", q.ID)))
+		qf, err := os.Create(filepath.Join(dir, fmt.Sprintf("query-%d.mvc", q.ID)))
 		if err != nil {
 			return err
 		}
@@ -227,17 +301,15 @@ func scenarioCmd(args []string) error {
 			return err
 		}
 	}
-	// Ground truth in seconds.
-	tf, err := os.Create(filepath.Join(*dir, "truth.txt"))
+	tf, err := os.Create(filepath.Join(dir, "truth.txt"))
 	if err != nil {
 		return err
 	}
 	defer tf.Close()
-	for _, ins := range wl.Truth {
-		fmt.Fprintf(tf, "%d %.2f %.2f\n", ins.QueryID,
-			float64(ins.Begin)/cfg.KeyFPS, float64(ins.End)/cfg.KeyFPS)
+	for _, line := range truthLines {
+		fmt.Fprintln(tf, line)
 	}
-	fmt.Printf("wrote %s: stream.mvc (%d key frames), %d queries, truth.txt\n",
-		*dir, wl.Stream.Len(), len(wl.Queries))
+	fmt.Printf("wrote %s: stream.mvc (%d key frames), %d queries, truth.txt (%d insertions)\n",
+		dir, wl.Stream.Len(), len(wl.Queries), len(truthLines))
 	return nil
 }

@@ -2,9 +2,12 @@ package edit
 
 import "vdsms/internal/vframe"
 
-// Attack bundles the VS2 editing pipeline of the paper: photometric
+// Attack bundles the VS2 editing pipeline of the paper — photometric
 // alterations, noise, a resolution change, a frame-rate change and segment
-// reordering. Zero-valued fields disable the corresponding edit.
+// reordering — plus the temporal-attack library (time remap, frame drops,
+// stutter, splicing) added for the robustness workload. Zero-valued fields
+// disable the corresponding edit, so the one descriptor covers every
+// attack family.
 type Attack struct {
 	BrightnessDelta float64 // added to luma
 	ContrastFactor  float64 // 0 disables; otherwise scale around mid-grey
@@ -17,11 +20,25 @@ type Attack struct {
 	TargetFPS       float64 // 0 keeps frame rate
 	SegmentFrames   int     // 0 disables reordering
 	ReorderSeed     int64
+
+	// Temporal attacks (see temporal.go).
+	SpeedFactor     float64 // time-remap factor; 0 or 1 keeps tempo
+	FPSRatio        float64 // resample to source fps × ratio; 0 or 1 keeps rate
+	DropFrac        float64 // fraction of frames dropped; 0 disables
+	DropSeed        int64
+	StutterFrac     float64 // fraction of frames frozen; 0 disables
+	StutterRepeat   int     // extra repeats per frozen frame; 0 disables
+	StutterSeed     int64
+	SpliceSegFrames int           // clip segment length for splicing; 0 disables
+	SpliceGapFrames int           // decoy frames inserted between segments
+	Decoy           vframe.Source // decoy footage; required when splicing is enabled
 }
 
 // Apply wires the attack pipeline around src in the paper's order:
-// photometric edits and noise, then resolution change, then frame-rate
-// re-encoding, then segment reordering.
+// photometric edits and noise, then resolution change, then the temporal
+// chain — time remap, frame-rate re-encoding, drops, stutter, segment
+// reordering and finally decoy splicing (an attacker splices the already
+// re-edited material).
 func (a Attack) Apply(src vframe.Source) vframe.Source {
 	out := src
 	if a.BrightnessDelta != 0 {
@@ -39,11 +56,26 @@ func (a Attack) Apply(src vframe.Source) vframe.Source {
 	if a.TargetW > 0 && a.TargetH > 0 {
 		out = Rescale(out, a.TargetW, a.TargetH)
 	}
+	if a.SpeedFactor > 0 && a.SpeedFactor != 1 {
+		out = Speed(out, a.SpeedFactor)
+	}
 	if a.TargetFPS > 0 && a.TargetFPS != src.FPS() {
 		out = Resample(out, a.TargetFPS)
 	}
+	if a.FPSRatio > 0 && a.FPSRatio != 1 {
+		out = Resample(out, out.FPS()*a.FPSRatio)
+	}
+	if a.DropFrac > 0 {
+		out = FrameDrop(out, a.DropFrac, a.DropSeed)
+	}
+	if a.StutterFrac > 0 && a.StutterRepeat > 0 {
+		out = Stutter(out, a.StutterFrac, a.StutterRepeat, a.StutterSeed)
+	}
 	if a.SegmentFrames > 0 {
 		out = Reorder(out, a.SegmentFrames, a.ReorderSeed)
+	}
+	if a.SpliceSegFrames > 0 && a.SpliceGapFrames > 0 {
+		out = SpliceInterleave(out, a.Decoy, a.SpliceSegFrames, a.SpliceGapFrames)
 	}
 	return out
 }

@@ -1,0 +1,127 @@
+package edit
+
+import "fmt"
+
+// Temporal-attack family names. Each family groups the presets of one kind
+// of temporal distortion; "none" is the verbatim control every robustness
+// run carries so per-family numbers have a baseline.
+const (
+	FamilyNone    = "none"
+	FamilySpeed   = "speed"
+	FamilyFPS     = "fps"
+	FamilyDrop    = "drop"
+	FamilyStutter = "stutter"
+	FamilyReorder = "reorder"
+	FamilySplice  = "splice"
+)
+
+// TemporalFamilies lists the attack families with presets, in the stable
+// order used by workloads and reports ("none" excluded — it is a control,
+// not an attack).
+func TemporalFamilies() []string {
+	return []string{FamilySpeed, FamilyFPS, FamilyDrop, FamilyStutter, FamilyReorder, FamilySplice}
+}
+
+// Preset is one named parameterisation of a temporal-attack family. Build
+// produces the concrete Attack for a source at the given frame rate —
+// second-denominated presets (reorder segments, splice lengths) convert
+// through fps — deterministic under seed. Splice presets leave Attack.Decoy
+// nil; the caller supplies decoy footage before Apply.
+type Preset struct {
+	Family string
+	Name   string
+	Build  func(fps float64, seed int64) Attack
+}
+
+// TemporalPresets returns the standing presets of a family, mildest first.
+// It panics on an unknown family name; use TemporalFamilies for the valid
+// set.
+func TemporalPresets(family string) []Preset {
+	switch family {
+	case FamilyNone:
+		return []Preset{{FamilyNone, "verbatim", func(float64, int64) Attack { return Attack{} }}}
+	case FamilySpeed:
+		return []Preset{
+			speedPreset("0.8x", 0.8),
+			speedPreset("1.25x", 1.25),
+			speedPreset("1.5x", 1.5),
+		}
+	case FamilyFPS:
+		return []Preset{
+			fpsPreset("ntsc-pal", 25.0/29.97),
+			fpsPreset("pal-ntsc", 29.97/25.0),
+			fpsPreset("half-rate", 0.5),
+		}
+	case FamilyDrop:
+		return []Preset{
+			dropPreset("5%", 0.05),
+			dropPreset("15%", 0.15),
+			dropPreset("30%", 0.30),
+		}
+	case FamilyStutter:
+		return []Preset{
+			stutterPreset("5%x1", 0.05, 1),
+			stutterPreset("10%x2", 0.10, 2),
+		}
+	case FamilyReorder:
+		return []Preset{
+			reorderPreset("10s", 10),
+			reorderPreset("5s", 5),
+			reorderPreset("2s", 2),
+		}
+	case FamilySplice:
+		return []Preset{
+			splicePreset("8s+2s", 8, 2),
+			splicePreset("5s+3s", 5, 3),
+		}
+	}
+	panic(fmt.Sprintf("edit: unknown temporal-attack family %q", family))
+}
+
+func speedPreset(name string, factor float64) Preset {
+	return Preset{FamilySpeed, name, func(float64, int64) Attack {
+		return Attack{SpeedFactor: factor}
+	}}
+}
+
+func fpsPreset(name string, ratio float64) Preset {
+	return Preset{FamilyFPS, name, func(float64, int64) Attack {
+		return Attack{FPSRatio: ratio}
+	}}
+}
+
+func dropPreset(name string, frac float64) Preset {
+	return Preset{FamilyDrop, name, func(_ float64, seed int64) Attack {
+		return Attack{DropFrac: frac, DropSeed: seed}
+	}}
+}
+
+func stutterPreset(name string, frac float64, repeat int) Preset {
+	return Preset{FamilyStutter, name, func(_ float64, seed int64) Attack {
+		return Attack{StutterFrac: frac, StutterRepeat: repeat, StutterSeed: seed}
+	}}
+}
+
+func reorderPreset(name string, segSec float64) Preset {
+	return Preset{FamilyReorder, name, func(fps float64, seed int64) Attack {
+		return Attack{SegmentFrames: secFrames(segSec, fps), ReorderSeed: seed}
+	}}
+}
+
+func splicePreset(name string, clipSec, gapSec float64) Preset {
+	return Preset{FamilySplice, name, func(fps float64, seed int64) Attack {
+		return Attack{
+			SpliceSegFrames: secFrames(clipSec, fps),
+			SpliceGapFrames: secFrames(gapSec, fps),
+		}
+	}}
+}
+
+// secFrames converts a duration in seconds to at least one frame at fps.
+func secFrames(sec, fps float64) int {
+	n := int(sec * fps)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

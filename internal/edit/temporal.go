@@ -1,0 +1,167 @@
+// Temporal attacks beyond the paper's VS2 pipeline: time remapping
+// (speed-up/slow-down), frame drops, stutter insertions and clip splicing
+// into decoy footage, per the temporal-attack taxonomy of Fojcik & Syga
+// ("Counteracting temporal attacks in Video Copy Detection") and the
+// near-duplicate categories of Belkhatir & Tahayna. Together with the
+// existing Resample and Reorder edits they form the attack families the
+// robustness workload composes (see internal/workload and
+// cmd/vcdgen attack).
+//
+// Every transform is a lazy vframe.Source wrapper, deterministic under its
+// seed: the same (source, parameters, seed) always yields a byte-identical
+// frame stream.
+package edit
+
+import (
+	"fmt"
+	"math"
+
+	"vdsms/internal/vframe"
+)
+
+// Speed remaps time by factor while keeping the frame rate: factor > 1
+// plays the content faster (fewer output frames), factor < 1 slower (more
+// output frames, duplicating inputs). Output frame i shows input frame
+// round(i·factor). factor must be positive; 1 is the identity.
+func Speed(src vframe.Source, factor float64) vframe.Source {
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		panic(fmt.Sprintf("edit: speed factor %g must be positive and finite", factor))
+	}
+	if factor == 1 {
+		return src
+	}
+	n := int(math.Round(float64(src.Len()) / factor))
+	if n < 1 {
+		n = 1
+	}
+	return &speedSource{parent: src, factor: factor, n: n}
+}
+
+type speedSource struct {
+	parent vframe.Source
+	factor float64
+	n      int
+}
+
+func (s *speedSource) Len() int     { return s.n }
+func (s *speedSource) FPS() float64 { return s.parent.FPS() }
+
+func (s *speedSource) Frame(i int) *vframe.Frame {
+	j := int(math.Round(float64(i) * s.factor))
+	if j >= s.parent.Len() {
+		j = s.parent.Len() - 1
+	}
+	return s.parent.Frame(j)
+}
+
+// FrameDrop removes approximately frac of the frames, each kept or dropped
+// by an independent deterministic draw from (seed, frame index). frac must
+// lie in [0, 1); 0 is the identity. At least one frame always survives.
+func FrameDrop(src vframe.Source, frac float64, seed int64) vframe.Source {
+	if frac < 0 || frac >= 1 || math.IsNaN(frac) {
+		panic(fmt.Sprintf("edit: drop fraction %g out of [0, 1)", frac))
+	}
+	if frac == 0 {
+		return src
+	}
+	idx := make([]int, 0, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		if frameDraw(seed, i) >= frac {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		idx = append(idx, 0)
+	}
+	return &indexSource{parent: src, idx: idx}
+}
+
+// Stutter freezes approximately frac of the frames, repeating each frozen
+// frame `repeat` extra times — the temporal signature of a lossy
+// transmission or a re-encode stalling on dropped packets. frac must lie
+// in [0, 1] and repeat must be non-negative; frac 0 or repeat 0 is the
+// identity.
+func Stutter(src vframe.Source, frac float64, repeat int, seed int64) vframe.Source {
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		panic(fmt.Sprintf("edit: stutter fraction %g out of [0, 1]", frac))
+	}
+	if repeat < 0 {
+		panic(fmt.Sprintf("edit: stutter repeat %d must be non-negative", repeat))
+	}
+	if frac == 0 || repeat == 0 {
+		return src
+	}
+	idx := make([]int, 0, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		idx = append(idx, i)
+		if frameDraw(seed, i) < frac {
+			for r := 0; r < repeat; r++ {
+				idx = append(idx, i)
+			}
+		}
+	}
+	return &indexSource{parent: src, idx: idx}
+}
+
+// frameDraw maps (seed, frame index) to a deterministic uniform in [0, 1).
+func frameDraw(seed int64, i int) float64 {
+	h := splitmix64(uint64(seed) ^ uint64(i)*0xD1B54A32D192ED03)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// indexSource replays the parent's frames in the order of idx.
+type indexSource struct {
+	parent vframe.Source
+	idx    []int
+}
+
+func (s *indexSource) Len() int                  { return len(s.idx) }
+func (s *indexSource) FPS() float64              { return s.parent.FPS() }
+func (s *indexSource) Frame(i int) *vframe.Frame { return s.parent.Frame(s.idx[i]) }
+
+// SpliceInterleave cuts src into segments of clipSeg frames and inserts
+// gapSeg frames of decoy footage between consecutive segments — the
+// "spliced into a longer programme" attack where only part of any window
+// carries query content. The decoy must share src's frame rate; decoy
+// offsets advance per gap (wrapping when the decoy is short) so the
+// inserted material varies. clipSeg must be positive; gapSeg 0 is the
+// identity.
+func SpliceInterleave(src, decoy vframe.Source, clipSeg, gapSeg int) vframe.Source {
+	if clipSeg <= 0 {
+		panic(fmt.Sprintf("edit: splice segment length %d must be positive", clipSeg))
+	}
+	if gapSeg < 0 {
+		panic(fmt.Sprintf("edit: splice gap length %d must be non-negative", gapSeg))
+	}
+	if gapSeg == 0 {
+		return src
+	}
+	if decoy == nil || decoy.Len() == 0 {
+		panic("edit: splice requires non-empty decoy footage")
+	}
+	if decoy.FPS() != src.FPS() {
+		panic(fmt.Sprintf("edit: splice decoy FPS %g != source FPS %g", decoy.FPS(), src.FPS()))
+	}
+	var parts []vframe.Source
+	n := src.Len()
+	maxOff := decoy.Len() - gapSeg
+	if maxOff < 1 {
+		maxOff = 1
+	}
+	for off, g := 0, 0; off < n; g++ {
+		take := clipSeg
+		if off+take > n {
+			take = n - off
+		}
+		parts = append(parts, vframe.Clip(src, off, take))
+		off += take
+		if off < n {
+			gl := gapSeg
+			if gl > decoy.Len() {
+				gl = decoy.Len()
+			}
+			parts = append(parts, vframe.Clip(decoy, (g*gapSeg)%maxOff, gl))
+		}
+	}
+	return vframe.Concat(parts...)
+}

@@ -1,0 +1,253 @@
+package edit
+
+import (
+	"bytes"
+	"testing"
+
+	"vdsms/internal/vframe"
+)
+
+// streamBytes flattens every plane of every frame so two sources can be
+// compared byte for byte.
+func streamBytes(t *testing.T, src vframe.Source) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		buf.Write(f.Y)
+		buf.Write(f.Cb)
+		buf.Write(f.Cr)
+	}
+	return buf.Bytes()
+}
+
+func decoy(n int, seed int64) vframe.Source {
+	return vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: n, Seed: seed, FPS: 30})
+}
+
+// TestTemporalTransforms drives every temporal attack through the shared
+// invariants: expected output length, unchanged geometry and frame rate,
+// byte-identical output for equal seeds, and divergence across seeds for
+// the randomised transforms.
+func TestTemporalTransforms(t *testing.T) {
+	const n = 60
+	cases := []struct {
+		name    string
+		apply   func(src vframe.Source, seed int64) vframe.Source
+		wantLen func(n int) (min, max int)
+		seeded  bool // output must differ across seeds
+	}{
+		{
+			name:    "speed 1.5x",
+			apply:   func(s vframe.Source, _ int64) vframe.Source { return Speed(s, 1.5) },
+			wantLen: func(n int) (int, int) { return 40, 40 },
+		},
+		{
+			name:    "speed 0.8x",
+			apply:   func(s vframe.Source, _ int64) vframe.Source { return Speed(s, 0.8) },
+			wantLen: func(n int) (int, int) { return 75, 75 },
+		},
+		{
+			name:    "drop 20%",
+			apply:   func(s vframe.Source, seed int64) vframe.Source { return FrameDrop(s, 0.2, seed) },
+			wantLen: func(n int) (int, int) { return n / 2, n - 1 },
+			seeded:  true,
+		},
+		{
+			name:    "stutter 20%x2",
+			apply:   func(s vframe.Source, seed int64) vframe.Source { return Stutter(s, 0.2, 2, seed) },
+			wantLen: func(n int) (int, int) { return n + 1, 2 * n },
+			seeded:  true,
+		},
+		{
+			name:    "reorder 8f",
+			apply:   func(s vframe.Source, seed int64) vframe.Source { return Reorder(s, 8, seed) },
+			wantLen: func(n int) (int, int) { return n, n },
+			seeded:  true,
+		},
+		{
+			name: "splice 15f+5f",
+			apply: func(s vframe.Source, seed int64) vframe.Source {
+				return SpliceInterleave(s, decoy(40, seed), 15, 5)
+			},
+			wantLen: func(n int) (int, int) { return n + 15, n + 15 }, // 3 gaps of 5
+			seeded:  true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := synth(n, 41)
+			out := tc.apply(src, 7)
+			min, max := tc.wantLen(n)
+			if out.Len() < min || out.Len() > max {
+				t.Errorf("length %d outside [%d, %d]", out.Len(), min, max)
+			}
+			if out.FPS() != src.FPS() {
+				t.Errorf("FPS changed to %g", out.FPS())
+			}
+			f := out.Frame(0)
+			orig := src.Frame(0)
+			if f.W != orig.W || f.H != orig.H {
+				t.Errorf("geometry changed to %dx%d", f.W, f.H)
+			}
+			// Same seed twice: byte-identical frame stream.
+			again := tc.apply(synth(n, 41), 7)
+			if !bytes.Equal(streamBytes(t, out), streamBytes(t, again)) {
+				t.Error("same seed produced different frame streams")
+			}
+			if tc.seeded {
+				other := tc.apply(synth(n, 41), 8)
+				if bytes.Equal(streamBytes(t, out), streamBytes(t, other)) {
+					t.Error("different seeds produced identical frame streams")
+				}
+			}
+		})
+	}
+}
+
+// TestTemporalIdentities verifies that identity parameters are exact
+// no-ops: the wrapper must return a stream byte-identical to the input
+// (and, where the transform short-circuits, the input source itself).
+func TestTemporalIdentities(t *testing.T) {
+	src := synth(20, 42)
+	want := streamBytes(t, src)
+	cases := []struct {
+		name string
+		out  vframe.Source
+	}{
+		{"speed 1x", Speed(src, 1)},
+		{"drop 0", FrameDrop(src, 0, 3)},
+		{"stutter frac 0", Stutter(src, 0, 3, 3)},
+		{"stutter repeat 0", Stutter(src, 0.5, 0, 3)},
+		{"splice gap 0", SpliceInterleave(src, decoy(10, 1), 5, 0)},
+		{"attack zero", Attack{}.Apply(src)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.out.Len() != src.Len() {
+				t.Fatalf("length %d, want %d", tc.out.Len(), src.Len())
+			}
+			if !bytes.Equal(streamBytes(t, tc.out), want) {
+				t.Error("identity parameters modified the stream")
+			}
+		})
+	}
+}
+
+func TestTemporalValidation(t *testing.T) {
+	src := synth(4, 43)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"speed 0", func() { Speed(src, 0) }},
+		{"speed negative", func() { Speed(src, -2) }},
+		{"drop negative", func() { FrameDrop(src, -0.1, 1) }},
+		{"drop 1", func() { FrameDrop(src, 1, 1) }},
+		{"stutter frac 1.5", func() { Stutter(src, 1.5, 1, 1) }},
+		{"stutter repeat -1", func() { Stutter(src, 0.5, -1, 1) }},
+		{"splice clipSeg 0", func() { SpliceInterleave(src, decoy(4, 1), 0, 2) }},
+		{"splice nil decoy", func() { SpliceInterleave(src, nil, 2, 2) }},
+		{"splice fps mismatch", func() {
+			d := vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: 4, Seed: 1, FPS: 25})
+			SpliceInterleave(src, d, 2, 2)
+		}},
+		{"unknown family", func() { TemporalPresets("warp") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameters accepted")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// TestSpeedRemapsTime checks the time-remap contract on a known mapping:
+// at 1.5x, output frame 10 must show input frame 15.
+func TestSpeedRemapsTime(t *testing.T) {
+	src := synth(60, 44)
+	out := Speed(src, 1.5)
+	got := out.Frame(10)
+	want := src.Frame(15)
+	if !bytes.Equal(got.Y, want.Y) {
+		t.Error("speed 1.5x frame 10 is not input frame 15")
+	}
+}
+
+// TestStutterPreservesOrder checks that stutter only duplicates frames and
+// never reorders: the de-duplicated output indices must be the input order.
+func TestStutterPreservesOrder(t *testing.T) {
+	src := synth(30, 45)
+	out := Stutter(src, 0.3, 2, 9).(*indexSource)
+	last := -1
+	for _, i := range out.idx {
+		if i < last {
+			t.Fatalf("stutter reordered frames: %d after %d", i, last)
+		}
+		last = i
+	}
+	if out.Len() <= src.Len() {
+		t.Errorf("stutter at 30%% inserted no frames (len %d)", out.Len())
+	}
+}
+
+// TestFrameDropKeepsSubsequence checks drops preserve relative order and
+// strictly remove frames at a plausible rate.
+func TestFrameDropKeepsSubsequence(t *testing.T) {
+	src := synth(100, 46)
+	out := FrameDrop(src, 0.3, 11).(*indexSource)
+	last := -1
+	for _, i := range out.idx {
+		if i <= last {
+			t.Fatalf("drop output not a strict subsequence: %d after %d", i, last)
+		}
+		last = i
+	}
+	if out.Len() < 50 || out.Len() > 90 {
+		t.Errorf("30%% drop kept %d of 100 frames", out.Len())
+	}
+}
+
+// TestTemporalPresetsDeterministic pins the preset registry: every family
+// has at least one preset, and Build is deterministic — the same (fps,
+// seed) yields attacks whose applied streams are byte-identical.
+func TestTemporalPresetsDeterministic(t *testing.T) {
+	fams := append([]string{FamilyNone}, TemporalFamilies()...)
+	for _, fam := range fams {
+		presets := TemporalPresets(fam)
+		if len(presets) == 0 {
+			t.Fatalf("family %q has no presets", fam)
+		}
+		// Key-frame-rate domain: 60 frames at 2 fps is a 30 s clip, long
+		// enough for the seconds-denominated reorder/splice presets to act.
+		keySrc := func() vframe.Source {
+			return vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: 60, Seed: 47, FPS: 2})
+		}
+		keyDecoy := func() vframe.Source {
+			return vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: 40, Seed: 3, FPS: 2})
+		}
+		for _, p := range presets {
+			if p.Family != fam {
+				t.Errorf("preset %q reports family %q, want %q", p.Name, p.Family, fam)
+			}
+			src := keySrc()
+			a1 := p.Build(2, 5)
+			a2 := p.Build(2, 5)
+			if fam == FamilySplice {
+				a1.Decoy = keyDecoy()
+				a2.Decoy = keyDecoy()
+			}
+			b1 := streamBytes(t, a1.Apply(src))
+			b2 := streamBytes(t, a2.Apply(keySrc()))
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("%s/%s: Build not deterministic", fam, p.Name)
+			}
+			if fam != FamilyNone && bytes.Equal(b1, streamBytes(t, src)) {
+				t.Errorf("%s/%s: attack is a no-op", fam, p.Name)
+			}
+		}
+	}
+}

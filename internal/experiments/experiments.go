@@ -36,11 +36,12 @@ type Options struct {
 // Lab lazily builds and caches the evaluation workloads shared by the
 // experiments.
 type Lab struct {
-	opt  Options
-	vs1  *workload.Workload
-	vs2  *workload.Workload
-	big1 *workload.Workload // 200-query VS1 for the m sweep
-	big2 *workload.Workload // 100-query VS2 for the Table II retrieval study
+	opt    Options
+	vs1    *workload.Workload
+	vs2    *workload.Workload
+	big1   *workload.Workload       // 200-query VS1 for the m sweep
+	big2   *workload.Workload       // 100-query VS2 for the Table II retrieval study
+	attack *workload.AttackWorkload // temporal-attack robustness workload
 }
 
 // NewLab creates a Lab; Scale defaults to 1 and Seed to 20080407 (the
@@ -129,6 +130,23 @@ func (l *Lab) BigVS2() *workload.Workload {
 		l.big2 = workload.Build(cfg)
 	}
 	return l.big2
+}
+
+// AttackVS returns the temporal-attack robustness workload: every short
+// inserted once per attack family ("none" control included), presets
+// rotating across shorts (see workload.BuildAttack).
+func (l *Lab) AttackVS() *workload.AttackWorkload {
+	if l.attack == nil {
+		cfg := l.baseCfg(false)
+		cfg.NumShorts = int(8 * l.opt.Scale)
+		if cfg.NumShorts < 3 {
+			cfg.NumShorts = 3
+		}
+		cfg.ShortMinSec, cfg.ShortMaxSec = 12, 20
+		cfg.GapMinSec, cfg.GapMaxSec = 4, 8
+		l.attack = workload.BuildAttack(workload.AttackConfig{Base: cfg})
+	}
+	return l.attack
 }
 
 // derived holds the (u, d)-specific view of a workload: cell ids for the
@@ -296,6 +314,7 @@ var Registry = []Experiment{
 	{"ablation-partition", "Section III.A rationale", AblationPartition},
 	{"ablation-prune", "Section V.B rationale", AblationPrune},
 	{"robustness", "Section III.A robustness claims", Robustness},
+	{"robustness-temporal", "beyond the paper: temporal-attack detection dashboard", TemporalRobustness},
 	{"ablation-lambda", "Section IV.A tempo scaling", AblationLambda},
 	{"ablation-index-update", "Section V.C.1 online maintenance", AblationIndexUpdate},
 	{"parallel", "beyond the paper: intra-stream parallel kernel", Parallel},

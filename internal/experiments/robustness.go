@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"vdsms/internal/core"
 	"vdsms/internal/edit"
 	"vdsms/internal/feature"
 	"vdsms/internal/partition"
@@ -115,4 +116,79 @@ func Robustness(l *Lab) (*stats.Table, error) {
 		tb.AddRow(c.name, sum/float64(n), float64(r5)/float64(n), float64(r7)/float64(n))
 	}
 	return tb, nil
+}
+
+// TemporalRobustness is the standing robustness dashboard: the full
+// streaming detector (not just the fingerprint) runs over the
+// temporal-attack workload and is scored per attack family across
+// {Sketch, Bit} × {Sequential, Geometric} × δ. Every future speed PR
+// regresses against these numbers — recall lost to an optimisation shows
+// up here family by family.
+func TemporalRobustness(l *Lab) (*stats.Table, error) {
+	rows, err := TemporalRobustnessResults(l, []float64{0.5, 0.7})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Temporal robustness: per-attack-family detection ({Sketch,Bit} × {Seq,Geo} × δ, u=4, d=5)",
+		"method", "order", "δ", "family", "precision", "recall", "loc err (s)")
+	for _, r := range rows {
+		for _, fr := range r.Families {
+			tb.AddRow(r.Cfg.Method.String(), r.Cfg.Order.String(), r.Cfg.Delta,
+				fr.Family, fr.Precision, fr.Recall, fr.MeanLocErr()/l.AttackVS().Cfg.KeyFPS)
+		}
+	}
+	return tb, nil
+}
+
+// TemporalRun is one engine configuration's per-family robustness outcome.
+type TemporalRun struct {
+	Cfg      core.Config
+	Overall  workload.Eval
+	Families []workload.FamilyResult
+}
+
+// TemporalRobustnessResults runs the {Sketch,Bit} × {Sequential,Geometric}
+// sweep at each δ over the attack workload and returns the structured
+// per-family results (the table and the CI artifact are both rendered from
+// these).
+func TemporalRobustnessResults(l *Lab, deltas []float64) ([]TemporalRun, error) {
+	aw := l.AttackVS()
+	dv, err := derive(aw.Workload, 4, 5, partition.GridPyramid)
+	if err != nil {
+		return nil, err
+	}
+	w := dv.cfg.KeyWindowFrames(5)
+	var out []TemporalRun
+	for _, method := range []core.Method{core.Sketch, core.Bit} {
+		for _, order := range []orderSel{seqOrder, geoOrder} {
+			for _, delta := range deltas {
+				cfg := coreConfig(800, delta, w, order)
+				cfg.Method = method
+				run, err := temporalRun(cfg, dv, aw.Meta, w)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, run)
+			}
+		}
+	}
+	return out, nil
+}
+
+// temporalRun scores one engine configuration against the attack
+// workload's family-annotated ground truth.
+func temporalRun(cfg core.Config, dv *derived, meta []workload.AttackInsertion, w int) (TemporalRun, error) {
+	res, err := runEngine(cfg, dv, 0)
+	if err != nil {
+		return TemporalRun{}, err
+	}
+	reports := make([]workload.Position, 0, len(res.Matches))
+	for _, m := range res.Matches {
+		reports = append(reports, workload.Position{QueryID: m.QueryID, P: m.DetectedAt})
+	}
+	return TemporalRun{
+		Cfg:      cfg,
+		Overall:  res.Eval,
+		Families: workload.EvaluateByFamily(reports, meta, w),
+	}, nil
 }

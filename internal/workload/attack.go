@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+
+	"vdsms/internal/edit"
+	"vdsms/internal/vframe"
+)
+
+// AttackInsertion is one ground-truth copy annotated with the temporal
+// attack that produced it, so detector output can be scored per attack
+// family (see EvaluateByFamily).
+type AttackInsertion struct {
+	Insertion
+	Family string // edit.Family* name; "none" for verbatim control inserts
+	Preset string // preset name within the family
+}
+
+// AttackConfig parameterises BuildAttack.
+type AttackConfig struct {
+	// Base supplies content, geometry, rate and seed; Base.Edited is
+	// ignored (the temporal attacks replace the VS2 pipeline).
+	Base Config
+	// Families are the attack families composed over the query clips, by
+	// edit.Family* name. Empty selects the "none" control plus every
+	// temporal family. Unknown names make BuildAttack panic (via
+	// edit.TemporalPresets), keeping misconfigured runs loud.
+	Families []string
+}
+
+// AttackWorkload is a built adversarial scenario: every query clip is
+// inserted once per requested attack family (preset rotating per clip),
+// between gaps of base footage, with Meta recording which attack produced
+// each insertion. Meta is index-parallel to Workload.Truth.
+type AttackWorkload struct {
+	*Workload
+	Meta []AttackInsertion
+}
+
+// BuildAttack constructs the adversarial robustness workload
+// deterministically from cfg. The monitored stream carries
+// len(Families) × NumShorts insertions; queries remain the original,
+// unattacked shorts.
+func BuildAttack(cfg AttackConfig) *AttackWorkload {
+	base := cfg.Base
+	base.defaults()
+	fams := cfg.Families
+	if len(fams) == 0 {
+		fams = append([]string{edit.FamilyNone}, edit.TemporalFamilies()...)
+	}
+	aw := &AttackWorkload{Workload: &Workload{Cfg: base}}
+	rnd := newRand(base.Seed*911 + 7)
+
+	// Shorts double as the continuous queries (same construction as Build).
+	shorts := make([]vframe.Source, base.NumShorts)
+	for i := 0; i < base.NumShorts; i++ {
+		durSec := base.ShortMinSec + rnd.float()*(base.ShortMaxSec-base.ShortMinSec)
+		n := int(durSec * base.KeyFPS)
+		if n < 2 {
+			n = 2
+		}
+		shorts[i] = vframe.NewSynth(vframe.SynthConfig{
+			W: base.W, H: base.H, FPS: base.KeyFPS, NumFrames: n,
+			Seed: base.Seed*1000003 + int64(i) + 1,
+		})
+		aw.Queries = append(aw.Queries, QueryVideo{ID: i + 1, Video: shorts[i]})
+	}
+
+	// Decoy footage for the splice family: long, distinct from both the
+	// shorts and the gap footage.
+	decoy := vframe.NewSynth(vframe.SynthConfig{
+		W: base.W, H: base.H, FPS: base.KeyFPS,
+		NumFrames: int(60*base.KeyFPS) + 16,
+		Seed:      base.Seed * 5_555_557,
+	})
+
+	// One insertion per (family, short), preset rotating across shorts so
+	// every preset of a family appears when NumShorts ≥ its preset count.
+	type insert struct {
+		qid            int
+		family, preset string
+		src            vframe.Source
+	}
+	var inserts []insert
+	for fi, fam := range fams {
+		presets := edit.TemporalPresets(fam)
+		for i, short := range shorts {
+			p := presets[i%len(presets)]
+			a := p.Build(base.KeyFPS, base.Seed*101+int64(fi)*1009+int64(i)*13+1)
+			a.Decoy = decoy
+			out := a.Apply(short)
+			// Conform to the monitored stream's uniform rate: a fixed-rate
+			// broadcast re-encode. The temporal distortion survives as frame
+			// duplication/removal at the stream rate.
+			if out.FPS() != base.KeyFPS {
+				out = edit.Resample(out, base.KeyFPS)
+			}
+			inserts = append(inserts, insert{
+				qid: i + 1, family: fam, preset: p.Name, src: out,
+			})
+		}
+	}
+
+	// Gap footage between insertions.
+	gapSecs := make([]float64, len(inserts)+1)
+	totalGapSec := 0.0
+	for i := range gapSecs {
+		gapSecs[i] = base.GapMinSec + rnd.float()*(base.GapMaxSec-base.GapMinSec)
+		totalGapSec += gapSecs[i]
+	}
+	gapFootage := vframe.NewSynth(vframe.SynthConfig{
+		W: base.W, H: base.H, FPS: base.KeyFPS,
+		NumFrames: int(totalGapSec*base.KeyFPS) + len(inserts) + 16,
+		Seed:      base.Seed * 7_777_777,
+	})
+
+	// Assemble gap/insert/gap/... with the insert order shuffled so
+	// families interleave rather than cluster.
+	order := rnd.perm(len(inserts))
+	var parts []vframe.Source
+	gapOff, streamOff := 0, 0
+	takeGap := func(sec float64) {
+		n := int(sec * base.KeyFPS)
+		if n < 1 {
+			n = 1
+		}
+		parts = append(parts, vframe.Clip(gapFootage, gapOff, n))
+		gapOff += n
+		streamOff += n
+	}
+	for i, oi := range order {
+		takeGap(gapSecs[i])
+		ins := inserts[oi]
+		parts = append(parts, ins.src)
+		truth := Insertion{
+			QueryID: ins.qid,
+			Begin:   streamOff,
+			End:     streamOff + ins.src.Len(),
+		}
+		aw.Truth = append(aw.Truth, truth)
+		aw.Meta = append(aw.Meta, AttackInsertion{
+			Insertion: truth, Family: ins.family, Preset: ins.preset,
+		})
+		streamOff += ins.src.Len()
+	}
+	takeGap(gapSecs[len(inserts)])
+	aw.Stream = vframe.Concat(parts...)
+	return aw
+}
+
+// TruthLine renders one insertion as a vcdgen attack truth.txt line:
+// "id begin end family preset" with times in seconds.
+func (a AttackInsertion) TruthLine(keyFPS float64) string {
+	return fmt.Sprintf("%d %.2f %.2f %s %s", a.QueryID,
+		float64(a.Begin)/keyFPS, float64(a.End)/keyFPS, a.Family, a.Preset)
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"vdsms/internal/edit"
+)
+
+func smallAttackCfg() AttackConfig {
+	return AttackConfig{
+		Base: Config{
+			NumShorts: 3, ShortMinSec: 6, ShortMaxSec: 10,
+			GapMinSec: 3, GapMaxSec: 5, Seed: 99,
+		},
+		Families: []string{edit.FamilyNone, edit.FamilySpeed, edit.FamilyDrop},
+	}
+}
+
+func TestBuildAttackStructure(t *testing.T) {
+	aw := BuildAttack(smallAttackCfg())
+	wantInserts := 3 * 3 // families × shorts
+	if len(aw.Truth) != wantInserts || len(aw.Meta) != wantInserts {
+		t.Fatalf("got %d truth / %d meta insertions, want %d", len(aw.Truth), len(aw.Meta), wantInserts)
+	}
+	perFamily := map[string]int{}
+	for i, m := range aw.Meta {
+		if m.Insertion != aw.Truth[i] {
+			t.Errorf("meta[%d] insertion %+v diverges from truth %+v", i, m.Insertion, aw.Truth[i])
+		}
+		if m.Preset == "" {
+			t.Errorf("meta[%d] has no preset name", i)
+		}
+		perFamily[m.Family]++
+		if m.Begin < 0 || m.End > aw.Stream.Len() || m.Begin >= m.End {
+			t.Errorf("meta[%d] interval [%d, %d) outside stream of %d frames", i, m.Begin, m.End, aw.Stream.Len())
+		}
+		if i > 0 && m.Begin < aw.Meta[i-1].End {
+			t.Errorf("insertions overlap: [%d) begins before previous end %d", m.Begin, aw.Meta[i-1].End)
+		}
+	}
+	for _, fam := range []string{edit.FamilyNone, edit.FamilySpeed, edit.FamilyDrop} {
+		if perFamily[fam] != 3 {
+			t.Errorf("family %q has %d insertions, want 3", fam, perFamily[fam])
+		}
+	}
+	if aw.Stream.FPS() != aw.Cfg.KeyFPS {
+		t.Errorf("stream FPS %g, want key rate %g", aw.Stream.FPS(), aw.Cfg.KeyFPS)
+	}
+	if len(aw.Queries) != 3 {
+		t.Errorf("%d queries, want 3", len(aw.Queries))
+	}
+}
+
+func TestBuildAttackDeterministic(t *testing.T) {
+	a := BuildAttack(smallAttackCfg())
+	b := BuildAttack(smallAttackCfg())
+	if len(a.Meta) != len(b.Meta) {
+		t.Fatalf("insertion counts differ: %d vs %d", len(a.Meta), len(b.Meta))
+	}
+	for i := range a.Meta {
+		if a.Meta[i] != b.Meta[i] {
+			t.Fatalf("meta[%d] differs: %+v vs %+v", i, a.Meta[i], b.Meta[i])
+		}
+	}
+	if a.Stream.Len() != b.Stream.Len() {
+		t.Fatalf("stream lengths differ: %d vs %d", a.Stream.Len(), b.Stream.Len())
+	}
+	for _, i := range []int{0, a.Stream.Len() / 2, a.Stream.Len() - 1} {
+		fa, fb := a.Stream.Frame(i), b.Stream.Frame(i)
+		if !bytes.Equal(fa.Y, fb.Y) || !bytes.Equal(fa.Cb, fb.Cb) || !bytes.Equal(fa.Cr, fb.Cr) {
+			t.Fatalf("stream frame %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildAttackDefaultFamilies(t *testing.T) {
+	cfg := smallAttackCfg()
+	cfg.Base.NumShorts = 2
+	cfg.Families = nil
+	aw := BuildAttack(cfg)
+	want := 1 + len(edit.TemporalFamilies()) // "none" control + every family
+	seen := map[string]bool{}
+	for _, m := range aw.Meta {
+		seen[m.Family] = true
+	}
+	if len(seen) != want {
+		t.Errorf("default build covers %d families, want %d: %v", len(seen), want, seen)
+	}
+}
+
+func TestAttackInsertionTruthLine(t *testing.T) {
+	ins := AttackInsertion{
+		Insertion: Insertion{QueryID: 4, Begin: 20, End: 41},
+		Family:    "speed", Preset: "1.25x",
+	}
+	if got, want := ins.TruthLine(2), "4 10.00 20.50 speed 1.25x"; got != want {
+		t.Errorf("truth line %q, want %q", got, want)
+	}
+}

@@ -1,5 +1,13 @@
 package workload
 
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
 // Position is a reported detection: query QueryID matched at stream key
 // frame P (the paper records "the position where a sequence matches").
 type Position struct {
@@ -10,10 +18,23 @@ type Position struct {
 // Eval holds precision/recall per the paper's Section VI rule: a reported
 // position p for query Q is correct iff Q.begin + w ≤ p ≤ Q.end + w for
 // some ground-truth insertion of Q, where w is the basic window size.
+// LocErrSum accumulates, over correct reports, the distance |p − Q.end| in
+// key frames between the reported position and the true end of the matched
+// insertion — how far from the copy's boundary the detection landed.
 type Eval struct {
 	Precision, Recall  float64
 	Correct, Reported  int
 	Detected, Inserted int
+	LocErrSum          float64
+}
+
+// MeanLocErr is the mean localization error in key frames over correct
+// reports (0 when there are none).
+func (e Eval) MeanLocErr() float64 {
+	if e.Correct == 0 {
+		return 0
+	}
+	return e.LocErrSum / float64(e.Correct)
 }
 
 // Evaluate scores reported positions against ground truth with basic
@@ -29,6 +50,7 @@ func Evaluate(reports []Position, truth []Insertion, w int) Eval {
 		for _, ins := range byQuery[r.QueryID] {
 			if ins.Begin+w <= r.P && r.P <= ins.End+w {
 				ev.Correct++
+				ev.LocErrSum += math.Abs(float64(r.P - ins.End))
 				detected[ins] = true
 				break
 			}
@@ -42,4 +64,175 @@ func Evaluate(reports []Position, truth []Insertion, w int) Eval {
 		ev.Recall = float64(ev.Detected) / float64(ev.Inserted)
 	}
 	return ev
+}
+
+// FamilyResult is the evaluation restricted to one attack family.
+type FamilyResult struct {
+	Family string
+	Eval
+}
+
+// UnattributedFamily labels reports whose query id has no ground-truth
+// insertion at all; they cannot belong to any attack family but still
+// count as false positives.
+const UnattributedFamily = "(unattributed)"
+
+// EvaluateByFamily scores reports per attack family. Each report is
+// attributed to the nearest insertion of its query id — nearest by the
+// distance from the reported position to the insertion's valid detection
+// interval [begin+w, end+w] — and is correct when that distance is zero
+// (the same rule Evaluate applies). Per-family precision is computed over
+// the reports attributed to that family; recall over the family's
+// insertions. Reports for queries with no insertions land in the
+// UnattributedFamily pseudo-family. Results are sorted by family name.
+func EvaluateByFamily(reports []Position, meta []AttackInsertion, w int) []FamilyResult {
+	byQuery := make(map[int][]AttackInsertion)
+	byFamily := make(map[string]*FamilyResult)
+	family := func(name string) *FamilyResult {
+		fr := byFamily[name]
+		if fr == nil {
+			fr = &FamilyResult{Family: name}
+			byFamily[name] = fr
+		}
+		return fr
+	}
+	for _, ins := range meta {
+		byQuery[ins.QueryID] = append(byQuery[ins.QueryID], ins)
+		family(ins.Family).Inserted++
+	}
+	detected := make(map[AttackInsertion]bool)
+	for _, r := range reports {
+		cands := byQuery[r.QueryID]
+		if len(cands) == 0 {
+			family(UnattributedFamily).Reported++
+			continue
+		}
+		best, bestDist := cands[0], math.Inf(1)
+		for _, ins := range cands {
+			d := intervalDist(r.P, ins.Begin+w, ins.End+w)
+			if d < bestDist {
+				best, bestDist = ins, d
+			}
+		}
+		fr := family(best.Family)
+		fr.Reported++
+		if bestDist == 0 {
+			fr.Correct++
+			fr.LocErrSum += math.Abs(float64(r.P - best.End))
+			detected[best] = true
+		}
+	}
+	for ins := range detected {
+		family(ins.Family).Detected++
+	}
+	out := make([]FamilyResult, 0, len(byFamily))
+	for _, fr := range byFamily {
+		if fr.Reported > 0 {
+			fr.Precision = float64(fr.Correct) / float64(fr.Reported)
+		}
+		if fr.Inserted > 0 {
+			fr.Recall = float64(fr.Detected) / float64(fr.Inserted)
+		}
+		out = append(out, *fr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// intervalDist is the distance from p to the closed interval [lo, hi].
+func intervalDist(p, lo, hi int) float64 {
+	switch {
+	case p < lo:
+		return float64(lo - p)
+	case p > hi:
+		return float64(p - hi)
+	}
+	return 0
+}
+
+// FamilyMetrics is one row of the machine-readable robustness report.
+type FamilyMetrics struct {
+	Family        string  `json:"family"`
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	Reports       int     `json:"reports"`
+	Correct       int     `json:"correct"`
+	Inserted      int     `json:"inserted"`
+	Detected      int     `json:"detected"`
+	MeanLocErrSec float64 `json:"mean_loc_err_sec"`
+}
+
+// FamilyReport is the machine-readable per-attack-family evaluation
+// summary emitted by vcdeval and the robustness suite. The schema string
+// is versioned; dashboard consumers pin it (see the vcdeval golden tests).
+type FamilyReport struct {
+	Schema    string          `json:"schema"`
+	WindowSec float64         `json:"window_sec"`
+	KeyFPS    float64         `json:"key_fps"`
+	Overall   FamilyMetrics   `json:"overall"`
+	Families  []FamilyMetrics `json:"families"`
+}
+
+// ReportSchema identifies the current FamilyReport wire format.
+const ReportSchema = "vcdeval/v1"
+
+// NewFamilyReport assembles the report from an overall evaluation and the
+// per-family breakdown. Rates are rounded to 6 decimals and localization
+// errors converted to seconds so the serialized forms are stable.
+func NewFamilyReport(overall Eval, fams []FamilyResult, windowSec, keyFPS float64) FamilyReport {
+	rep := FamilyReport{
+		Schema:    ReportSchema,
+		WindowSec: windowSec,
+		KeyFPS:    keyFPS,
+		Overall:   metrics("overall", overall, keyFPS),
+	}
+	for _, fr := range fams {
+		rep.Families = append(rep.Families, metrics(fr.Family, fr.Eval, keyFPS))
+	}
+	return rep
+}
+
+func metrics(name string, e Eval, keyFPS float64) FamilyMetrics {
+	locSec := 0.0
+	if keyFPS > 0 {
+		locSec = e.MeanLocErr() / keyFPS
+	}
+	return FamilyMetrics{
+		Family:        name,
+		Precision:     round6(e.Precision),
+		Recall:        round6(e.Recall),
+		Reports:       e.Reported,
+		Correct:       e.Correct,
+		Inserted:      e.Inserted,
+		Detected:      e.Detected,
+		MeanLocErrSec: round6(locSec),
+	}
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func (r FamilyReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// WriteCSV renders the report as CSV: a fixed header, the overall row,
+// then one row per family.
+func (r FamilyReport) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "family,precision,recall,reports,correct,inserted,detected,mean_loc_err_sec"); err != nil {
+		return err
+	}
+	rows := append([]FamilyMetrics{r.Overall}, r.Families...)
+	for _, m := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%d,%d,%d,%d,%.4f\n",
+			m.Family, m.Precision, m.Recall, m.Reports, m.Correct, m.Inserted, m.Detected, m.MeanLocErrSec); err != nil {
+			return err
+		}
+	}
+	return nil
 }

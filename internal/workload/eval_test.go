@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func metaFixture() []AttackInsertion {
+	return []AttackInsertion{
+		{Insertion{QueryID: 1, Begin: 10, End: 30}, "none", "verbatim"},
+		{Insertion{QueryID: 1, Begin: 100, End: 120}, "speed", "1.25x"},
+		{Insertion{QueryID: 2, Begin: 50, End: 70}, "speed", "1.5x"},
+		{Insertion{QueryID: 2, Begin: 200, End: 220}, "drop", "15%"},
+	}
+}
+
+func TestEvaluateByFamily(t *testing.T) {
+	const w = 5
+	reports := []Position{
+		{1, 20},  // none: correct (10+5 ≤ 20 ≤ 35), |20−30| = 10 frames loc err
+		{1, 110}, // speed: correct
+		{2, 60},  // speed: correct
+		{2, 300}, // nearest is drop insertion but outside window → drop false positive
+		{9, 1},   // no insertions for query 9 → unattributed
+	}
+	fams := EvaluateByFamily(reports, metaFixture(), w)
+	byName := map[string]FamilyResult{}
+	for _, fr := range fams {
+		byName[fr.Family] = fr
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families: %+v", len(fams), fams)
+	}
+	none := byName["none"]
+	if none.Correct != 1 || none.Reported != 1 || none.Inserted != 1 || none.Recall != 1 {
+		t.Errorf("none family %+v", none)
+	}
+	if none.MeanLocErr() != 10 {
+		t.Errorf("none loc err %g frames, want 10", none.MeanLocErr())
+	}
+	speed := byName["speed"]
+	if speed.Correct != 2 || speed.Inserted != 2 || speed.Precision != 1 || speed.Recall != 1 {
+		t.Errorf("speed family %+v", speed)
+	}
+	drop := byName["drop"]
+	if drop.Reported != 1 || drop.Correct != 0 || drop.Precision != 0 || drop.Recall != 0 {
+		t.Errorf("drop family %+v", drop)
+	}
+	un := byName[UnattributedFamily]
+	if un.Reported != 1 || un.Inserted != 0 {
+		t.Errorf("unattributed %+v", un)
+	}
+	// Families are sorted by name.
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].Family > fams[i].Family {
+			t.Errorf("families not sorted: %q before %q", fams[i-1].Family, fams[i].Family)
+		}
+	}
+}
+
+func TestEvaluateByFamilyAttributesNearest(t *testing.T) {
+	// Query 1 has two insertions of different families; a report landing in
+	// neither window must count against the nearer one.
+	meta := []AttackInsertion{
+		{Insertion{QueryID: 1, Begin: 0, End: 10}, "none", "verbatim"},
+		{Insertion{QueryID: 1, Begin: 1000, End: 1010}, "reorder", "5s"},
+	}
+	fams := EvaluateByFamily([]Position{{1, 900}}, meta, 2)
+	for _, fr := range fams {
+		switch fr.Family {
+		case "reorder":
+			if fr.Reported != 1 || fr.Correct != 0 {
+				t.Errorf("reorder %+v, want one incorrect report", fr)
+			}
+		case "none":
+			if fr.Reported != 0 {
+				t.Errorf("none %+v, want no attributed reports", fr)
+			}
+		}
+	}
+}
+
+func TestEvaluateLocErr(t *testing.T) {
+	truth := []Insertion{{QueryID: 1, Begin: 0, End: 20}}
+	ev := Evaluate([]Position{{1, 22}, {1, 25}}, truth, 5)
+	if ev.Correct != 2 {
+		t.Fatalf("correct %d, want 2", ev.Correct)
+	}
+	if got := ev.MeanLocErr(); got != 3.5 { // (|22−20| + |25−20|) / 2
+		t.Errorf("mean loc err %g frames, want 3.5", got)
+	}
+	if Evaluate(nil, truth, 5).MeanLocErr() != 0 {
+		t.Error("loc err with no correct reports should be 0")
+	}
+}
+
+func TestFamilyReportWriters(t *testing.T) {
+	overall := Evaluate([]Position{{1, 20}}, []Insertion{{QueryID: 1, Begin: 10, End: 30}}, 5)
+	fams := EvaluateByFamily([]Position{{1, 20}},
+		[]AttackInsertion{{Insertion{QueryID: 1, Begin: 10, End: 30}, "stutter", "5%x1"}}, 5)
+	rep := NewFamilyReport(overall, fams, 2.5, 2)
+
+	var jsonOut strings.Builder
+	if err := rep.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "vcdeval/v1"`, `"family": "stutter"`, `"mean_loc_err_sec": 5`} {
+		if !strings.Contains(jsonOut.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, jsonOut.String())
+		}
+	}
+
+	var csvOut strings.Builder
+	if err := rep.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 3 { // header + overall + stutter
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), csvOut.String())
+	}
+	if lines[0] != "family,precision,recall,reports,correct,inserted,detected,mean_loc_err_sec" {
+		t.Errorf("CSV header changed: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "overall,1.0000,1.0000,") {
+		t.Errorf("overall row %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "stutter,") {
+		t.Errorf("family row %q", lines[2])
+	}
+}
