@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke clean
 
 all: build test
 
@@ -56,6 +56,17 @@ robustness-smoke:
 	ROBUSTNESS_REPORT_DIR=$(CURDIR)/robustness-report $(GO) test -race -count=1 \
 		-run 'TestRobustnessSmoke|TestTemporal|TestBuildAttack|TestEvaluateByFamily|TestReportGolden' \
 		./internal/edit ./internal/workload ./internal/experiments ./cmd/vcdeval
+
+# Reduced-scale pre-filter gate under the race detector: 10³ queries
+# streamed with the Bloom tier off and on — match output must be identical,
+# ≥90% of per-row probes rejected, bounded false positives — plus the
+# filter/churn/equivalence suites. Writes the measured level as a JSON
+# artifact into queryscale-report/.
+queryscale-smoke:
+	$(GO) test -race -count=1 ./internal/prefilter
+	QUERYSCALE_REPORT_DIR=$(CURDIR)/queryscale-report $(GO) test -race -count=1 \
+		-run 'TestQueryScaleSmoke|TestPreFilter|TestProbeShardMasked|TestProbeChurn|TestAddRemoveErrors|TestAddBatch|TestRowMask' \
+		./internal/qindex ./internal/core ./internal/experiments
 
 # Crash-recovery sweep under the race detector: snapshot/restore at every
 # window boundary and worker-count combination must reproduce the

@@ -82,6 +82,14 @@ type Config struct {
 	// one). Matches, match order and Stats totals are identical for every
 	// value — see DESIGN.md "Parallel matching".
 	Workers int
+	// PreFilter enables the blocked-Bloom pre-filter tier
+	// (internal/prefilter) in front of the Hash-Query index: each window's
+	// per-row equal searches are first tested against a compact membership
+	// filter and rejected in O(1) when no query can hold the value. Match
+	// output is byte-identical with the tier on or off (the filter has no
+	// false negatives); only probe cost changes. Requires UseIndex — see
+	// DESIGN.md "Pre-filter tier".
+	PreFilter bool
 }
 
 // Default returns the paper's default parameters (Table I) with a basic
@@ -124,6 +132,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers=%d must be >= 0", c.Workers)
+	}
+	if c.PreFilter && !c.UseIndex {
+		return fmt.Errorf("core: PreFilter requires UseIndex (the tier masks Hash-Query row probes)")
 	}
 	return nil
 }

@@ -19,7 +19,7 @@ func detRun(t *testing.T, v variant, workers int, batch bool) ([]Match, Stats) {
 	cfg := Config{
 		K: 192, Seed: 5, Delta: 0.5, Lambda: 2, WindowFrames: 10,
 		Order: v.order, Method: v.method, UseIndex: v.useIndex,
-		Workers: workers,
+		PreFilter: v.prefilter, Workers: workers,
 	}
 	e, err := NewEngine(cfg)
 	if err != nil {

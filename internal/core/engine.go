@@ -86,6 +86,12 @@ type Engine struct {
 	// telShardCompared are this engine's per-shard comparison counters
 	// (shared process-wide by shard id via the telemetry registry).
 	telShardCompared []*telemetry.Counter
+
+	// Pre-filter accounting for this engine's windows, outside Stats so
+	// the snapshot codec is untouched (the tier is a runtime choice).
+	// pfRowProbes/pfRowRejects accrue serially in processWindow;
+	// pfEmptySearches is folded from the spine shard after the join.
+	pfRowProbes, pfRowRejects, pfEmptySearches int64
 }
 
 // NewEngine validates cfg and builds an engine with its own private query
@@ -120,6 +126,11 @@ func newEngine(cfg Config, qs *QuerySet) *Engine {
 	if n < 1 {
 		n = 1
 	}
+	if cfg.PreFilter {
+		// Idempotent; with a shared QuerySet the first pre-filter engine
+		// turns the tier on for every sharer (it is output-neutral).
+		qs.EnablePreFilter()
+	}
 	e := &Engine{cfg: cfg, qs: qs, nshards: n}
 	e.shards = make([]*engineShard, n)
 	e.telShardCompared = make([]*telemetry.Counter, n)
@@ -148,6 +159,40 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// PreFilterStats reports the pre-filter tier's activity: this engine's
+// row-probe outcomes plus the shared filter's current footprint. Zero
+// values throughout when the tier is off.
+type PreFilterStats struct {
+	// Enabled reports whether the tier is active on the query set.
+	Enabled bool
+	// RowProbes and RowRejects count this engine's per-window filter
+	// tests and O(1) rejections; RowRejects/RowProbes is the fraction of
+	// per-row candidate walks skipped before any index work.
+	RowProbes, RowRejects int64
+	// EmptySearches counts admitted rows whose equal search found nothing
+	// — the filter's false positives (each costs one wasted binary search).
+	EmptySearches int64
+	// Bytes and Keys describe the shared filter's current footprint;
+	// Rebuilds counts churn-triggered reconstructions.
+	Bytes, Keys int
+	Rebuilds    int64
+}
+
+// PreFilterStats returns the tier's accounting for this engine and its
+// query set.
+func (e *Engine) PreFilterStats() PreFilterStats {
+	bytes, keys, rebuilds, enabled := e.qs.preFilterStats()
+	return PreFilterStats{
+		Enabled:       enabled,
+		RowProbes:     e.pfRowProbes,
+		RowRejects:    e.pfRowRejects,
+		EmptySearches: e.pfEmptySearches,
+		Bytes:         bytes,
+		Keys:          keys,
+		Rebuilds:      rebuilds,
+	}
+}
+
 // NumQueries returns the number of subscribed queries.
 func (e *Engine) NumQueries() int { return e.qs.Len() }
 
@@ -155,6 +200,13 @@ func (e *Engine) NumQueries() int { return e.qs.Len() }
 // frames. With a shared QuerySet this affects every sharing engine.
 func (e *Engine) AddQuery(id int, cellIDs []uint64) error {
 	return e.qs.Add(id, cellIDs)
+}
+
+// AddQueries subscribes a batch of continuous queries in one bulk index
+// build; see QuerySet.AddBatch for the cost argument. Use it when
+// subscribing large query populations (the queryscale workloads).
+func (e *Engine) AddQueries(ids []int, cellIDs [][]uint64) error {
+	return e.qs.AddBatch(ids, cellIDs)
 }
 
 // RemoveQuery unsubscribes a query. Candidates tracking it drop it at
@@ -253,6 +305,18 @@ func (e *Engine) processWindow() {
 		relatedSh:  make([]map[int]*bitsig.Signature, e.nshards),
 		qidsSh:     make([][]int, e.nshards),
 	}
+	// The pre-filter row mask is computed once, serially, before the shard
+	// fork: it depends only on the window sketch (not the shard), so doing
+	// it here avoids K×nshards redundant filter probes and keeps the mask —
+	// and hence the probe output — identical for every worker count.
+	if e.cfg.PreFilter && len(view.queries) > 0 {
+		mask, probed, rejected := e.qs.windowRowMask(wsk)
+		win.rowMask = mask
+		e.pfRowProbes += int64(probed)
+		e.pfRowRejects += int64(rejected)
+		telPrefilterProbes.Add(int64(probed))
+		telPrefilterRejects.Add(int64(rejected))
+	}
 	// The tracer's enabled flag is sampled once here: every recording site
 	// downstream checks win.tr, so a mid-window toggle never tears a
 	// window's event set and the disabled path is a single nil comparison.
@@ -324,11 +388,17 @@ func (e *Engine) processWindow() {
 // signatures under the Bit method, sorted query ids under Sketch.
 func (e *Engine) probeShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryView) {
 	if e.cfg.Method == Bit {
-		po, scanned := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards)
+		po, scanned := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
 		s.d.sketchCompares += int64(scanned)
 		s.d.probeComparisons += int64(po.Comparisons)
 		s.d.probed += int64(len(po.Related))
 		s.d.pruned += int64(len(po.Pruned))
+		// Every shard of one window observes the same empty-search count
+		// (row emptiness is shard-independent); the spine's copy is folded
+		// into the engine counter and telemetry after the join.
+		if s.spine {
+			s.d.emptySearches += int64(po.EmptySearches)
+		}
 		rel := make(map[int]*bitsig.Signature, len(po.Related))
 		for _, r := range po.Related {
 			rel[r.QID] = r.Sig
@@ -336,7 +406,7 @@ func (e *Engine) probeShard(s *engineShard, win *windowResult, wsk minhash.Sketc
 		win.relatedSh[s.id] = rel
 		return
 	}
-	win.qidsSh[s.id] = e.relatedForSketchShard(s, wsk, view)
+	win.qidsSh[s.id] = e.relatedForSketchShard(s, win, wsk, view)
 }
 
 // pruneDelta is the δ handed to probers for Lemma 2 pruning: the real
@@ -351,12 +421,15 @@ func (e *Engine) pruneDelta() float64 {
 // relatedForSketchShard returns the query ids of shard s the Sketch method
 // must compare with this window: the shard's slice of the probe's R_L with
 // the index, or every owned query without.
-func (e *Engine) relatedForSketchShard(s *engineShard, wsk minhash.Sketch, view *queryView) []int {
+func (e *Engine) relatedForSketchShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryView) []int {
 	if e.qs.usingIndex() {
-		po, _ := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards)
+		po, _ := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
 		s.d.probeComparisons += int64(po.Comparisons)
 		s.d.probed += int64(len(po.Related))
 		s.d.pruned += int64(len(po.Pruned))
+		if s.spine {
+			s.d.emptySearches += int64(po.EmptySearches)
+		}
 		ids := make([]int, 0, len(po.Related))
 		for _, r := range po.Related {
 			ids = append(ids, r.QID)
@@ -392,6 +465,9 @@ type windowResult struct {
 	maxW       int                         // global candidate bound ⌈λL_max/w⌉
 	relatedSh  []map[int]*bitsig.Signature // Bit: per-shard window-vs-query signatures
 	qidsSh     [][]int                     // Sketch: per-shard related query ids, sorted
+	// rowMask is the pre-filter admission mask, computed once per window
+	// before the shard fork; nil (admit all rows) when the tier is off.
+	rowMask qindex.RowMask
 	// tr is the lifecycle-event recorder for this window, nil when tracing
 	// is off — the single guard every kernel recording site checks.
 	tr      *trace.Recorder

@@ -50,6 +50,10 @@ type shardDelta struct {
 	probeComparisons               int64
 	signatureSum, candidateSum     int64
 	probed, pruned                 int64
+	// emptySearches is the window's pre-filter false-positive count
+	// (admitted rows with an empty equal search). Identical on every shard
+	// by construction, so only the spine's value is folded.
+	emptySearches int64
 	// probeNS and combineNS are this shard's stage spans for the window,
 	// written by the shard itself and read after the join by the telemetry
 	// fold (zero when timing is off).
@@ -195,6 +199,10 @@ func (e *Engine) foldShardStats() {
 		e.telShardCompared[i].Add(d.sigTests + d.sketchCompares)
 		telProbeRelated.Add(d.probed)
 		telProbePruned.Add(d.pruned)
+		if s.spine && d.emptySearches > 0 {
+			e.pfEmptySearches += d.emptySearches
+			telPrefilterFP.Add(d.emptySearches)
+		}
 	}
 }
 

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vdsms/internal/snapshot"
+)
+
+// The pre-filter tier's contract is byte-identical output: with
+// Config.PreFilter on, Matches (order included) and Stats totals — down to
+// ProbeComparisons, since rejected rows are exactly the empty searches —
+// must equal the unfiltered run's, under any worker count, across churn,
+// and through checkpoint/restore.
+
+// prefSchedule is a deterministic workload with mid-stream subscription
+// churn: queries added up front, some removed and re-added while frames
+// flow, converging on a final set. The removals are numerous enough to
+// trip the filter's rebuild-on-threshold path.
+type prefSchedule struct {
+	cfg     Config
+	queries [][]uint64 // 1-based ids
+	frames  []uint64
+	// ops[i] runs after frame i: +id adds query id back, −id removes it.
+	ops map[int][]int
+}
+
+func newPrefSchedule(seed int64, method Method, order Order) *prefSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	ps := &prefSchedule{
+		cfg: Config{
+			K: 96, Seed: rng.Int63(), Delta: 0.5, Lambda: 2, WindowFrames: 8,
+			Order: order, Method: method, UseIndex: true,
+		},
+		ops: map[int][]int{},
+	}
+	for q := 0; q < 6; q++ {
+		ps.queries = append(ps.queries, idStream(rng, q+1, rng.Intn(30)+20))
+	}
+	for i := 0; i < 260; i++ {
+		ps.frames = append(ps.frames, uint64(rng.Intn(6)+1)*100000+uint64(rng.Intn(40)))
+	}
+	for q, at := range []int{20, 70, 130, 190} {
+		copy(ps.frames[at:], ps.queries[q%len(ps.queries)])
+	}
+	// Churn: remove 3, 5; re-add 3; remove 1. Final set {2,3,4,6}.
+	ps.ops[50] = []int{-3}
+	ps.ops[90] = []int{-5}
+	ps.ops[140] = []int{+3}
+	ps.ops[200] = []int{-1}
+	return ps
+}
+
+// run replays the schedule on one engine configuration.
+func (ps *prefSchedule) run(t *testing.T, preFilter bool, workers int) ([]Match, Stats) {
+	t.Helper()
+	cfg := ps.cfg
+	cfg.PreFilter = preFilter
+	cfg.Workers = workers
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ids := range ps.queries {
+		if err := e.AddQuery(i+1, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range ps.frames {
+		e.PushFrame(f)
+		for _, op := range ps.ops[i] {
+			if op > 0 {
+				err = e.AddQuery(op, ps.queries[op-1])
+			} else {
+				err = e.RemoveQuery(-op)
+			}
+			if err != nil {
+				t.Fatalf("frame %d op %d: %v", i, op, err)
+			}
+		}
+	}
+	e.Flush()
+	return e.Matches, e.Stats()
+}
+
+// TestPreFilterOutputEquivalence: the tier must be invisible in the output
+// — same matches, same stats totals — for every method/order combination
+// and worker count, under subscription churn.
+func TestPreFilterOutputEquivalence(t *testing.T) {
+	for _, v := range []struct {
+		name   string
+		method Method
+		order  Order
+	}{
+		{"bit-seq", Bit, Sequential},
+		{"bit-geo", Bit, Geometric},
+		{"sketch-seq", Sketch, Sequential},
+		{"sketch-geo", Sketch, Geometric},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			ps := newPrefSchedule(11, v.method, v.order)
+			wantM, wantS := ps.run(t, false, 0)
+			if len(wantM) == 0 {
+				t.Fatal("baseline run found no matches; workload too weak")
+			}
+			for _, workers := range []int{0, 4} {
+				gotM, gotS := ps.run(t, true, workers)
+				if !reflect.DeepEqual(gotM, wantM) {
+					t.Errorf("Workers=%d: pre-filter changed matches\noff: %+v\non:  %+v", workers, wantM, gotM)
+				}
+				if !reflect.DeepEqual(gotS.Totals(), wantS.Totals()) {
+					t.Errorf("Workers=%d: pre-filter changed stats totals\noff: %+v\non:  %+v",
+						workers, wantS.Totals(), gotS.Totals())
+				}
+			}
+		})
+	}
+}
+
+// TestPreFilterChurnFuzz: random interleaved Add/Remove schedules, applied
+// identically with the tier on and off, must keep outputs equal — the
+// churn path exercises AddSketch, dead-key counting and threshold rebuilds.
+func TestPreFilterChurnFuzz(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		ps := newPrefSchedule(int64(400+trial), Bit, Sequential)
+		// Overwrite the fixed ops with a random schedule over ids 1..6,
+		// tracking membership so every op is valid on both engines.
+		ps.ops = map[int][]int{}
+		in := map[int]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true}
+		for i := 10; i < len(ps.frames); i += rng.Intn(25) + 8 {
+			id := rng.Intn(6) + 1
+			if in[id] {
+				ps.ops[i] = append(ps.ops[i], -id)
+				in[id] = false
+			} else {
+				ps.ops[i] = append(ps.ops[i], +id)
+				in[id] = true
+			}
+		}
+		wantM, wantS := ps.run(t, false, 0)
+		gotM, gotS := ps.run(t, true, 2)
+		if !reflect.DeepEqual(gotM, wantM) {
+			t.Fatalf("trial %d: churned pre-filter run diverges\noff: %+v\non:  %+v", trial, wantM, gotM)
+		}
+		if !reflect.DeepEqual(gotS.Totals(), wantS.Totals()) {
+			t.Fatalf("trial %d: stats totals diverge\noff: %+v\non:  %+v",
+				trial, wantS.Totals(), gotS.Totals())
+		}
+	}
+}
+
+// TestPreFilterSnapshotRoundTrip is the checkpoint satellite: a pre-filter
+// engine checkpointed mid-stream and restored — with the tier on or off,
+// at a different worker count — must finish the stream with output
+// byte-identical to the uninterrupted run. PreFilter is excluded from the
+// snapshot fingerprint (like Workers, it is a runtime choice); the filter
+// is rebuilt from the restored query set.
+func TestPreFilterSnapshotRoundTrip(t *testing.T) {
+	ps := newPrefSchedule(21, Bit, Sequential)
+	uninterruptedM, uninterruptedS := ps.run(t, true, 0)
+	if len(uninterruptedM) == 0 {
+		t.Fatal("workload produced no matches")
+	}
+
+	for _, rc := range []struct {
+		name              string
+		ckptPF, restorePF bool
+		restoreWorkers    int
+	}{
+		{"on-to-on", true, true, 0},
+		{"on-to-on-parallel", true, true, 4},
+		{"on-to-off", true, false, 0},
+		{"off-to-on", false, true, 0},
+	} {
+		t.Run(rc.name, func(t *testing.T) {
+			cfg := ps.cfg
+			cfg.PreFilter = rc.ckptPF
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ids := range ps.queries {
+				if err := e.AddQuery(i+1, ids); err != nil {
+					t.Fatal(err)
+				}
+			}
+			push := func(e *Engine, from, to int) {
+				for i := from; i < to; i++ {
+					e.PushFrame(ps.frames[i])
+					for _, op := range ps.ops[i] {
+						if op > 0 {
+							err = e.AddQuery(op, ps.queries[op-1])
+						} else {
+							err = e.RemoveQuery(-op)
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			cut := 110 // mid-stream, after the first removal
+			push(e, 0, cut)
+
+			// Through the real codec, so the filter's absence from the
+			// durable form is exercised, not just ExportState.
+			var buf bytes.Buffer
+			if err := snapshot.Write(&buf, &snapshot.Checkpoint{Engine: *e.ExportState()}); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.PreFilter = rc.restorePF
+			cfg.Workers = rc.restoreWorkers
+			e2, err := RestoreEngine(cfg, &dec.Engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			push(e2, cut, len(ps.frames))
+			e2.Flush()
+
+			gotM := append(append([]Match(nil), e.Matches...), e2.Matches...)
+			if !reflect.DeepEqual(gotM, uninterruptedM) {
+				t.Errorf("matches diverge from uninterrupted run\nwant: %+v\ngot:  %+v", uninterruptedM, gotM)
+			}
+			if got := e2.Stats().Totals(); !reflect.DeepEqual(got, uninterruptedS.Totals()) {
+				t.Errorf("stats totals diverge\nwant: %+v\ngot:  %+v", uninterruptedS.Totals(), got)
+			}
+		})
+	}
+}
+
+// TestPreFilterValidation: the tier requires the Hash-Query index.
+func TestPreFilterValidation(t *testing.T) {
+	cfg := Default(10)
+	cfg.UseIndex = false
+	cfg.PreFilter = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("PreFilter without UseIndex accepted")
+	}
+	cfg.UseIndex = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("PreFilter with UseIndex rejected: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"vdsms/internal/minhash"
+	"vdsms/internal/prefilter"
 	"vdsms/internal/qindex"
 )
 
@@ -30,6 +31,13 @@ type QuerySet struct {
 	queries  map[int]*queryInfo
 	index    *qindex.Index // nil until first query when useIndex
 	scan     qindex.Scan
+	// preFilter/pf implement the opt-in Bloom tier: pf summarises the key
+	// set {(row, sketch[row]) : subscribed query} and is kept consistent
+	// with churn by rebuild-on-threshold (see internal/prefilter). nil
+	// until EnablePreFilter; rebuilds count in pfRebuilds.
+	preFilter  bool
+	pf         *prefilter.Filter
+	pfRebuilds int64
 	// cur is the immutable snapshot used by window processing: engines (and
 	// their worker shards) read query state lock-free and see one
 	// consistent subscription set per window. Add/Remove publish a fresh
@@ -140,6 +148,70 @@ func (qs *QuerySet) insert(q *queryInfo) error {
 	}
 	qs.queries[q.id] = q
 	qs.scan.Queries = append(qs.scan.Queries, iq)
+	if qs.preFilter {
+		if qs.pf == nil || qs.pf.NeedsRebuild() {
+			qs.rebuildPreFilter()
+		} else {
+			qs.pf.AddSketch(q.sketch)
+		}
+		qs.publishPreFilterGauges()
+	}
+	qs.rebuildView()
+	return nil
+}
+
+// AddBatch subscribes many queries in one operation. The Hash-Query index
+// is rebuilt once with a bulk Build — O(K·m log m) for the whole batch
+// instead of the O(K·m) slice insertions per query the incremental path
+// pays (O(K·m²) total), which is the difference between seconds and hours
+// at the 10⁵–10⁶ query scale the pre-filter tier targets. The batch is
+// validated before any mutation, so an error leaves the set unchanged.
+func (qs *QuerySet) AddBatch(ids []int, cellIDs [][]uint64) error {
+	if len(ids) != len(cellIDs) {
+		return fmt.Errorf("core: AddBatch got %d ids but %d queries", len(ids), len(cellIDs))
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	seen := make(map[int]bool, len(ids))
+	for i, id := range ids {
+		if len(cellIDs[i]) == 0 {
+			return fmt.Errorf("core: query %d has no frames", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("core: query id %d duplicated in batch", id)
+		}
+		if _, dup := qs.queries[id]; dup {
+			return fmt.Errorf("core: query id %d already subscribed", id)
+		}
+		seen[id] = true
+	}
+	batch := make([]*queryInfo, len(ids))
+	all := append([]qindex.Query(nil), qs.scan.Queries...)
+	for i, id := range ids {
+		q := &queryInfo{
+			id:      id,
+			frames:  len(cellIDs[i]),
+			sketch:  qs.fam.SketchSet(cellIDs[i]),
+			cellIDs: append([]uint64(nil), cellIDs[i]...),
+		}
+		batch[i] = q
+		all = append(all, qindex.Query{ID: q.id, Length: q.frames, Sketch: q.sketch})
+	}
+	if qs.useIndex && len(all) > 0 {
+		idx, err := qindex.Build(all)
+		if err != nil {
+			return err
+		}
+		qs.index = idx
+	}
+	for _, q := range batch {
+		qs.queries[q.id] = q
+	}
+	qs.scan.Queries = all
+	if qs.preFilter {
+		qs.rebuildPreFilter()
+		qs.publishPreFilterGauges()
+	}
 	qs.rebuildView()
 	return nil
 }
@@ -158,11 +230,97 @@ func (qs *QuerySet) Remove(id int) error {
 			break
 		}
 	}
+	if qs.preFilter && qs.pf != nil {
+		// Bloom bits are shared, so removal only marks keys dead; rebuild
+		// from the authoritative list once staleness trips the threshold.
+		qs.pf.RemoveKeys(qs.k)
+		if qs.pf.NeedsRebuild() {
+			qs.rebuildPreFilter()
+		}
+		qs.publishPreFilterGauges()
+	}
 	qs.rebuildView()
 	if qs.useIndex && qs.index != nil {
 		return qs.index.Remove(id)
 	}
 	return nil
+}
+
+// EnablePreFilter turns the Bloom tier on for this set (idempotent). The
+// filter is built from the current subscriptions; subsequent Add/Remove
+// keep it consistent under the write lock.
+func (qs *QuerySet) EnablePreFilter() {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.preFilter {
+		return
+	}
+	qs.preFilter = true
+	qs.rebuildPreFilter()
+	qs.publishPreFilterGauges()
+}
+
+// rebuildPreFilter reconstructs the filter from the authoritative query
+// list, sized with ~25% headroom so steady churn doesn't rebuild every
+// insert; callers hold the write lock.
+func (qs *QuerySet) rebuildPreFilter() {
+	n := len(qs.scan.Queries)
+	qs.pf = prefilter.New((n+n/4+4)*qs.k, 0)
+	for _, iq := range qs.scan.Queries {
+		qs.pf.AddSketch(iq.Sketch)
+	}
+	qs.pfRebuilds++
+	telPrefilterRebuilds.Inc()
+}
+
+// publishPreFilterGauges refreshes the tier's memory-accounting gauges;
+// callers hold the write lock. Gauge stores are single atomics, so doing
+// this on every churn operation is free relative to the O(K) filter work.
+func (qs *QuerySet) publishPreFilterGauges() {
+	if qs.pf == nil {
+		return
+	}
+	b := float64(qs.pf.Bytes())
+	telPrefilterBytes.Set(b)
+	if n := len(qs.queries); n > 0 {
+		telPrefilterBytesPerQuery.Set(b / float64(n))
+	} else {
+		telPrefilterBytesPerQuery.Set(0)
+	}
+}
+
+// preFilterStats returns the tier's memory accounting: filter bytes, live
+// keys, rebuild count and whether the tier is active.
+func (qs *QuerySet) preFilterStats() (bytes, keys int, rebuilds int64, enabled bool) {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	if !qs.preFilter || qs.pf == nil {
+		return 0, 0, qs.pfRebuilds, qs.preFilter
+	}
+	return qs.pf.Bytes(), qs.pf.Keys(), qs.pfRebuilds, true
+}
+
+// windowRowMask computes the pre-filter admission mask for one window
+// sketch: row i is admitted iff the filter may hold (i, sk[i]). Returns a
+// nil mask (admit all) when the tier is off or probing is not indexed.
+// rejected counts the rows dropped — each one saves a binary search and
+// rejects every candidate query at that hash position in O(1).
+func (qs *QuerySet) windowRowMask(sk minhash.Sketch) (mask qindex.RowMask, probed, rejected int) {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	if !qs.preFilter || qs.pf == nil || !qs.useIndex || qs.index == nil {
+		return nil, 0, 0
+	}
+	mask = qindex.NewRowMask(len(sk))
+	for i, v := range sk {
+		probed++
+		if qs.pf.MayContain(i, v) {
+			mask.Set(i)
+		} else {
+			rejected++
+		}
+	}
+	return mask, probed, rejected
 }
 
 // usingIndex reports whether probing goes through the Hash-Query index.
@@ -175,11 +333,11 @@ func (qs *QuerySet) usingIndex() bool {
 // probeShard runs the configured prober for one query shard under the read
 // lock. Shard outputs and scan counts partition the full probe's exactly
 // (see qindex.ShardOf), so per-window stats are worker-count invariant.
-func (qs *QuerySet) probeShard(sk minhash.Sketch, delta float64, shard, nshards int) (qindex.ProbeOutput, int) {
+func (qs *QuerySet) probeShard(sk minhash.Sketch, delta float64, shard, nshards int, mask qindex.RowMask) (qindex.ProbeOutput, int) {
 	qs.mu.RLock()
 	defer qs.mu.RUnlock()
 	if qs.useIndex && qs.index != nil {
-		return qs.index.ProbeShard(sk, delta, shard, nshards), 0
+		return qs.index.ProbeShardMasked(sk, delta, shard, nshards, mask), 0
 	}
 	return qs.scan.ProbeShard(sk, delta, shard, nshards)
 }

@@ -20,7 +20,10 @@ import (
 
 // snapshotConfig maps the detection-relevant configuration into the durable
 // form. Workers is deliberately dropped: parallelism is a runtime choice,
-// not engine state.
+// not engine state. PreFilter is dropped for the same reason — the tier is
+// output-neutral (no false negatives) and its filter is rebuilt from the
+// restored queries, so a checkpoint taken with the tier on restores with
+// it off and vice versa.
 func (c Config) snapshotConfig() snapshot.Config {
 	return snapshot.Config{
 		K:            c.K,

@@ -30,6 +30,19 @@ var (
 	telProbePruned = telemetry.Default.Counter("vcd_probe_pruned_total",
 		"Lemma 2 prunes, during probing and candidate extension.")
 
+	telPrefilterProbes = telemetry.Default.Counter("vcd_prefilter_row_probes_total",
+		"Per-row pre-filter membership tests (K per window when the tier is on).")
+	telPrefilterRejects = telemetry.Default.Counter("vcd_prefilter_row_rejects_total",
+		"Row probes the pre-filter rejected before any Hash-Query index work.")
+	telPrefilterFP = telemetry.Default.Counter("vcd_prefilter_false_positives_total",
+		"Rows the pre-filter admitted whose index search found nothing (wasted binary searches).")
+	telPrefilterBytes = telemetry.Default.Gauge("vcd_prefilter_bytes",
+		"Memory footprint of the pre-filter bit array, in bytes.")
+	telPrefilterBytesPerQuery = telemetry.Default.Gauge("vcd_prefilter_bytes_per_query",
+		"Pre-filter bytes divided by registered queries — the tier's marginal memory cost.")
+	telPrefilterRebuilds = telemetry.Default.Counter("vcd_prefilter_rebuilds_total",
+		"Pre-filter rebuilds triggered by churn staleness or saturation.")
+
 	telStageSketch  = stageHistogram("sketch")
 	telStageProbe   = stageHistogram("probe")
 	telStageCombine = stageHistogram("combine")

@@ -319,6 +319,7 @@ var Registry = []Experiment{
 	{"ablation-index-update", "Section V.C.1 online maintenance", AblationIndexUpdate},
 	{"parallel", "beyond the paper: intra-stream parallel kernel", Parallel},
 	{"recovery", "beyond the paper: checkpoint/restore + WAL replay", Recovery},
+	{"queryscale", "beyond the paper: pre-filter tier at 10³–10⁶ queries", QueryScale},
 }
 
 // Find returns the experiment with the given name.

@@ -1,0 +1,188 @@
+// Package prefilter implements the compact membership tier that sits in
+// front of the Hash-Query index (paper Section V.C, internal/qindex) when
+// the number of continuous queries grows toward 10⁵–10⁶.
+//
+// The Hash-Query index already guarantees that only related queries are
+// walked, but every basic window still pays K per-row probes — a binary
+// search over an m-entry row per hash function — and at large m almost all
+// of them find nothing: a window's min-hash value at row i equals some
+// query's value at row i only when the window shares content with that
+// query. Following Araujo et al., "Large-Scale Query-by-Image Video
+// Retrieval Using Bloom Filters", a Filter summarises the key set
+// {(row i, value v) : some query holds v at hash position i} in a blocked
+// Bloom filter, so a window's candidate probe at row i is rejected in O(1)
+// — one cache line touched — before any exact index work. The filter has
+// no false negatives, so a row that may hold an equal value is always
+// searched exactly and match output is byte-identical with the tier on or
+// off; false positives only cost one wasted binary search.
+//
+// Layout (deterministic): the bit array is an array of 512-bit blocks (one
+// cache line, 8×uint64). A key derives two 64-bit hashes; the first picks
+// the block, the second supplies four 9-bit in-block bit positions. The
+// layout depends only on the sizing inputs and the key set — bit-setting
+// is commutative — so two filters built over the same keys with the same
+// capacity are bit-identical.
+//
+// Churn (rebuild-on-threshold): Bloom bits cannot be cleared on key
+// removal — positions are shared between keys — so Remove only counts dead
+// keys, which over-approximates the set (safe: stale keys can only cause
+// false positives, never false negatives). The owner rebuilds from its
+// authoritative key source once NeedsRebuild reports that dead keys exceed
+// half the live ones, or that the filter is saturated beyond its sizing
+// capacity (where the false-positive budget would degrade). Counting
+// Bloom variants were rejected: 4-bit counters quadruple the memory of a
+// tier whose whole point is to be small, and the rebuild is O(m·K) — the
+// same cost the Hash-Query index already pays for a single Add.
+package prefilter
+
+import "fmt"
+
+const (
+	// blockWords is the number of 64-bit words per block: 512 bits, one
+	// cache line, so a membership test touches exactly one line.
+	blockWords = 8
+	blockBits  = blockWords * 64
+	// probesPerKey is the number of bits set per key inside its block.
+	probesPerKey = 4
+	// DefaultBitsPerKey sizes the filter at ~12 bits per expected key,
+	// which puts the blocked-Bloom false-positive rate around 0.5–1% —
+	// at most a few wasted binary searches per thousand row probes.
+	DefaultBitsPerKey = 12
+	// minDeadForRebuild keeps tiny filters from rebuilding on every
+	// removal; below this many dead keys staleness is never reported.
+	minDeadForRebuild = 64
+)
+
+// Filter is a blocked Bloom filter over (row, value) keys. The zero value
+// is not usable; call New. Concurrent readers (MayContain) are safe;
+// Add/Remove require external synchronisation, matching the Hash-Query
+// index they shadow.
+type Filter struct {
+	blocks    []uint64
+	blockMask uint64 // nblocks−1 (nblocks is a power of two)
+	capKeys   int    // keys the filter was sized for
+	live      int    // keys added and not removed
+	dead      int    // removed keys whose bits remain set
+}
+
+// New returns an empty filter sized for expectedKeys at bitsPerKey bits
+// each (DefaultBitsPerKey when bitsPerKey <= 0). The block count rounds up
+// to a power of two, so the realised capacity — see CapacityKeys — is at
+// least the requested one.
+func New(expectedKeys, bitsPerKey int) *Filter {
+	if bitsPerKey <= 0 {
+		bitsPerKey = DefaultBitsPerKey
+	}
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	needBits := uint64(expectedKeys) * uint64(bitsPerKey)
+	nblocks := nextPow2((needBits + blockBits - 1) / blockBits)
+	return &Filter{
+		blocks:    make([]uint64, nblocks*blockWords),
+		blockMask: nblocks - 1,
+		capKeys:   int(nblocks * blockBits / uint64(bitsPerKey)),
+	}
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// mix64 is the SplitMix64 finaliser, the same mixer the min-hash family
+// uses to scramble structured inputs.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// keyHash derives the block-selection and bit-selection hashes of one
+// (row, value) key. Row and value are mixed together so equal values at
+// different hash positions occupy independent bits.
+func keyHash(row int, v uint64) (block, bits uint64) {
+	x := mix64(v ^ (uint64(row)+1)*0x9e3779b97f4a7c15)
+	return x, mix64(x ^ 0xd6e8feb86659fd93)
+}
+
+// Add inserts the key (row, v). Adding a key twice is harmless (the bits
+// are already set) but counts twice toward saturation; owners tracking a
+// key *set* should add each key once.
+func (f *Filter) Add(row int, v uint64) {
+	block, bits := keyHash(row, v)
+	base := (block & f.blockMask) * blockWords
+	for p := 0; p < probesPerKey; p++ {
+		bit := (bits >> (9 * p)) & (blockBits - 1)
+		f.blocks[base+bit/64] |= 1 << (bit % 64)
+	}
+	f.live++
+}
+
+// AddSketch inserts one key per sketch position: (0, sk[0]) … (K−1,
+// sk[K−1]) — a subscribed query's full row footprint.
+func (f *Filter) AddSketch(sk []uint64) {
+	for i, v := range sk {
+		f.Add(i, v)
+	}
+}
+
+// MayContain reports whether the key (row, v) may have been added: false
+// means definitely absent, true means present or a false positive.
+func (f *Filter) MayContain(row int, v uint64) bool {
+	block, bits := keyHash(row, v)
+	base := (block & f.blockMask) * blockWords
+	for p := 0; p < probesPerKey; p++ {
+		bit := (bits >> (9 * p)) & (blockBits - 1)
+		if f.blocks[base+bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveKeys records the removal of n keys whose bits stay set (Bloom bits
+// are shared and cannot be cleared). The filter keeps over-approximating
+// the live set; once NeedsRebuild trips, the owner rebuilds from its
+// authoritative key source.
+func (f *Filter) RemoveKeys(n int) {
+	f.dead += n
+	f.live -= n
+	if f.live < 0 {
+		f.live = 0
+	}
+}
+
+// Keys returns the number of live keys.
+func (f *Filter) Keys() int { return f.live }
+
+// DeadKeys returns the number of removed keys still encoded in the bits.
+func (f *Filter) DeadKeys() int { return f.dead }
+
+// CapacityKeys returns the number of keys the filter was sized for; beyond
+// it the false-positive budget degrades and NeedsRebuild trips.
+func (f *Filter) CapacityKeys() int { return f.capKeys }
+
+// Bytes returns the memory footprint of the bit array.
+func (f *Filter) Bytes() int { return len(f.blocks) * 8 }
+
+// NeedsRebuild reports that the filter should be rebuilt from the
+// authoritative key set: either encoded keys (live + dead) exceed the
+// sizing capacity, or dead keys outnumber half the live ones (with a
+// floor so small filters don't thrash).
+func (f *Filter) NeedsRebuild() bool {
+	if f.live+f.dead > f.capKeys {
+		return true
+	}
+	return f.dead > minDeadForRebuild && f.dead*2 > f.live
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (f *Filter) String() string {
+	return fmt.Sprintf("prefilter.Filter{keys=%d dead=%d cap=%d bytes=%d}",
+		f.live, f.dead, f.capKeys, f.Bytes())
+}

@@ -1,0 +1,204 @@
+package prefilter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randKeys draws n distinct (row, value) keys across k rows.
+func randKeys(rng *rand.Rand, n, k int) [][2]uint64 {
+	seen := make(map[[2]uint64]bool, n)
+	out := make([][2]uint64, 0, n)
+	for len(out) < n {
+		key := [2]uint64{uint64(rng.Intn(k)), rng.Uint64()}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
+
+// TestNoFalseNegatives: every added key must test positive — the property
+// the byte-identical probe path depends on.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 5000, 64)
+	f := New(len(keys), 0)
+	for _, key := range keys {
+		f.Add(int(key[0]), key[1])
+	}
+	for _, key := range keys {
+		if !f.MayContain(int(key[0]), key[1]) {
+			t.Fatalf("added key (row %d, %#x) tests negative", key[0], key[1])
+		}
+	}
+	if f.Keys() != len(keys) {
+		t.Errorf("Keys()=%d, want %d", f.Keys(), len(keys))
+	}
+}
+
+// TestFalsePositiveRate: at the default sizing, keys never added must be
+// rejected almost always (the documented ~1% budget, asserted loosely).
+func TestFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 20000, 128)
+	f := New(len(keys), 0)
+	for _, key := range keys {
+		f.Add(int(key[0]), key[1])
+	}
+	fp := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		// Fresh random values are almost surely not in the key set.
+		if f.MayContain(rng.Intn(128), rng.Uint64()|1<<63) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.03 {
+		t.Errorf("false-positive rate %.4f exceeds 3%% at default sizing", rate)
+	}
+}
+
+// TestDeterministicLayout: two filters built over the same keys with the
+// same sizing are bit-identical regardless of insertion order.
+func TestDeterministicLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 3000, 32)
+	a := New(len(keys), 0)
+	b := New(len(keys), 0)
+	for _, key := range keys {
+		a.Add(int(key[0]), key[1])
+	}
+	perm := rng.Perm(len(keys))
+	for _, i := range perm {
+		b.Add(int(keys[i][0]), keys[i][1])
+	}
+	if !reflect.DeepEqual(a.blocks, b.blocks) {
+		t.Fatal("same key set, same sizing, different bits")
+	}
+	if a.Bytes() != b.Bytes() {
+		t.Fatalf("byte sizes differ: %d vs %d", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestAddSketch: a sketch's footprint is one key per row.
+func TestAddSketch(t *testing.T) {
+	f := New(256, 0)
+	sk := make([]uint64, 16)
+	rng := rand.New(rand.NewSource(4))
+	for i := range sk {
+		sk[i] = rng.Uint64()
+	}
+	f.AddSketch(sk)
+	if f.Keys() != len(sk) {
+		t.Fatalf("Keys()=%d after AddSketch of %d rows", f.Keys(), len(sk))
+	}
+	for i, v := range sk {
+		if !f.MayContain(i, v) {
+			t.Fatalf("row %d value missing", i)
+		}
+	}
+	// The same value at a different row is an independent key.
+	misses := 0
+	for i := range sk {
+		if !f.MayContain(i, sk[(i+1)%len(sk)]) {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("values appear present at every other row; rows are not independent keys")
+	}
+}
+
+// TestRebuildThresholds pins the rebuild-on-threshold semantics:
+// saturation beyond capacity, and dead keys outnumbering half the live
+// ones (with the small-filter floor).
+func TestRebuildThresholds(t *testing.T) {
+	f := New(1000, 0)
+	if f.NeedsRebuild() {
+		t.Fatal("empty filter wants a rebuild")
+	}
+	// Saturate past capacity.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i <= f.CapacityKeys(); i++ {
+		f.Add(rng.Intn(8), rng.Uint64())
+	}
+	if !f.NeedsRebuild() {
+		t.Error("filter beyond capacity does not request a rebuild")
+	}
+
+	// Staleness: > minDeadForRebuild dead keys and dead*2 > live.
+	f = New(1000, 0)
+	for i := 0; i < 200; i++ {
+		f.Add(rng.Intn(8), rng.Uint64())
+	}
+	f.RemoveKeys(60)
+	if f.NeedsRebuild() {
+		t.Error("rebuild requested below the dead-key floor")
+	}
+	f.RemoveKeys(40) // dead=100 > 64, live=100, dead*2 > live
+	if !f.NeedsRebuild() {
+		t.Error("stale filter does not request a rebuild")
+	}
+	if f.Keys() != 100 || f.DeadKeys() != 100 {
+		t.Errorf("Keys()=%d DeadKeys()=%d, want 100/100", f.Keys(), f.DeadKeys())
+	}
+}
+
+// TestRemovedKeysStayPositive: removal must not introduce false negatives
+// for the keys that remain (bits are shared); removed keys may stay
+// positive until a rebuild.
+func TestRemovedKeysStayPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := randKeys(rng, 1000, 16)
+	f := New(len(keys), 0)
+	for _, key := range keys {
+		f.Add(int(key[0]), key[1])
+	}
+	f.RemoveKeys(500)
+	for _, key := range keys {
+		if !f.MayContain(int(key[0]), key[1]) {
+			t.Fatal("key lost after RemoveKeys — Bloom bits must never clear")
+		}
+	}
+}
+
+// TestSizingEdges: degenerate sizing inputs must produce a usable filter.
+func TestSizingEdges(t *testing.T) {
+	for _, n := range []int{-5, 0, 1, 7} {
+		f := New(n, 0)
+		f.Add(0, 42)
+		if !f.MayContain(0, 42) {
+			t.Fatalf("New(%d) filter drops keys", n)
+		}
+		if f.Bytes() <= 0 || f.CapacityKeys() <= 0 {
+			t.Fatalf("New(%d): Bytes=%d CapacityKeys=%d", n, f.Bytes(), f.CapacityKeys())
+		}
+	}
+	// Explicit bits-per-key scales the footprint.
+	small, big := New(10000, 8), New(10000, 16)
+	if big.Bytes() <= small.Bytes() {
+		t.Errorf("16 bits/key (%d B) not larger than 8 bits/key (%d B)", big.Bytes(), small.Bytes())
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randKeys(rng, 100000, 800)
+	f := New(len(keys), 0)
+	for _, key := range keys {
+		f.Add(int(key[0]), key[1])
+	}
+	probe := make([]uint64, 1024)
+	for i := range probe {
+		probe[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(i%800, probe[i%len(probe)])
+	}
+}

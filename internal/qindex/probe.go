@@ -25,7 +25,33 @@ type ProbeOutput struct {
 	// Comparisons counts elementary value comparisons performed, the CPU
 	// proxy used by the cost experiments.
 	Comparisons int
+	// EmptySearches counts rows that a RowMask admitted but whose equal
+	// search found no entry — the pre-filter tier's false positives. Zero
+	// when probing unmasked. Every shard of one window reports the same
+	// value (the emptiness of a row is shard-independent), so fold it from
+	// a single shard, not by summing.
+	EmptySearches int
 }
+
+// RowMask is the optional per-window row admission set a pre-filter tier
+// (internal/prefilter) computes before the exact probe: bit i set means
+// row i may hold the window's hash value sk[i] and must be searched; a
+// clear bit rejects the row's equal search — and with it every candidate
+// query at that hash position — in O(1). A nil RowMask admits every row.
+//
+// Masking is sound only when the mask is a superset of the truly-equal
+// rows (no false negatives), which Bloom/fingerprint filters guarantee;
+// the masked probe output is then identical to the unmasked one.
+type RowMask []uint64
+
+// NewRowMask returns an all-rejecting mask for k rows.
+func NewRowMask(k int) RowMask { return make(RowMask, (k+63)/64) }
+
+// Set admits row i.
+func (m RowMask) Set(i int) { m[i/64] |= 1 << (i % 64) }
+
+// Admits reports whether row i must be searched. A nil mask admits all.
+func (m RowMask) Admits(i int) bool { return m == nil || m[i/64]&(1<<(i%64)) != 0 }
 
 // Prober produces the related-query list of one basic-window sketch. Both
 // the Hash-Query index and the linear scan (the "NoIndex" baseline of the
@@ -74,13 +100,24 @@ func (x *Index) Probe(sk minhash.Sketch, delta float64) ProbeOutput {
 // instead of being replicated. Each row costs one extra binary search per
 // shard, which is the price of running the shards concurrently over a
 // single shared structure.
+func (x *Index) ProbeShard(sk minhash.Sketch, delta float64, shard, nshards int) ProbeOutput {
+	return x.ProbeShardMasked(sk, delta, shard, nshards, nil)
+}
+
+// ProbeShardMasked is ProbeShard under a pre-filter row mask: rows the
+// mask rejects skip their equal search (step 3) entirely, which is the
+// whole per-row cost for the overwhelmingly common case of a window value
+// matching no query. Steps (1) and (2) — advancing and pruning already-
+// discovered R_L elements — are unaffected, so the output is identical to
+// the unmasked probe whenever the mask has no false negatives (which the
+// prefilter tier guarantees). A nil mask searches every row.
 //
 // For each row it (1) advances every surviving owned R_L element via its
 // down link and records the relation of the window's hash value to the
 // query's, (2) prunes elements violating Lemma 2, and (3) binary-searches
 // the row for values equal to sk[i], walking new owned matches' up links to
 // reconstruct their bits for the earlier rows.
-func (x *Index) ProbeShard(sk minhash.Sketch, delta float64, shard, nshards int) ProbeOutput {
+func (x *Index) ProbeShardMasked(sk minhash.Sketch, delta float64, shard, nshards int, mask RowMask) ProbeOutput {
 	if len(sk) != x.k {
 		panic("qindex: probe sketch K mismatch")
 	}
@@ -135,8 +172,16 @@ func (x *Index) ProbeShard(sk minhash.Sketch, delta float64, shard, nshards int)
 		}
 		live = kept
 
-		// (3) Find equal values of owned queries not yet tracked.
+		// (3) Find equal values of owned queries not yet tracked. A row the
+		// pre-filter mask rejects is guaranteed to hold no equal value, so
+		// its binary search is skipped outright.
+		if !mask.Admits(i) {
+			continue
+		}
 		lo := sort.Search(len(row), func(j int) bool { return row[j].value >= v })
+		if mask != nil && (lo >= len(row) || row[lo].value != v) {
+			out.EmptySearches++
+		}
 		for j := lo; j < len(row) && row[j].value == v; j++ {
 			if ShardOf(row[j].qid, nshards) != shard {
 				continue

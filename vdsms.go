@@ -67,6 +67,13 @@ type Config struct {
 	UseSketchMethod bool
 	// NoIndex disables the Hash-Query index (linear scan per window).
 	NoIndex bool
+	// PreFilter enables the blocked-Bloom pre-filter tier in front of the
+	// Hash-Query index: per-row candidate probes are rejected in O(1)
+	// before any exact index work, which matters once the subscribed query
+	// count reaches 10⁵–10⁶. Matches are byte-identical with the tier on
+	// or off; only probe cost and memory change. Incompatible with
+	// NoIndex. See DESIGN.md "Pre-filter tier".
+	PreFilter bool
 	// ArchiveSec, when positive, keeps the most recent ArchiveSec seconds
 	// of the monitored stream's compressed frames in memory so that, on a
 	// match, the matched segment can be saved as a standalone clip for
@@ -226,6 +233,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 		Order:        core.Geometric,
 		Method:       core.Bit,
 		UseIndex:     !cfg.NoIndex,
+		PreFilter:    cfg.PreFilter,
 		Workers:      cfg.Workers,
 	}
 	if cfg.Sequential {
@@ -357,6 +365,32 @@ func (d *Detector) AddQuery(id int, clip io.Reader) error {
 	}
 	// Subscription churn is not in the WAL (the log carries frames only),
 	// so it is made durable by checkpointing immediately.
+	return d.checkpointOnChurn()
+}
+
+// AddQueries subscribes a batch of continuous queries from encoded MVC1
+// clips in one bulk operation: clips are decoded, then the Hash-Query
+// index (and pre-filter, when enabled) is built once for the combined
+// query set instead of once per insert — the only practical path at
+// large query counts. Either every query lands or none does.
+func (d *Detector) AddQueries(ids []int, clips []io.Reader) error {
+	if len(ids) != len(clips) {
+		return fmt.Errorf("vdsms: AddQueries: %d ids but %d clips", len(ids), len(clips))
+	}
+	cellIDs := make([][]uint64, len(clips))
+	for i, clip := range clips {
+		dcs, _, err := mpeg.ReadAllDC(clip)
+		if err != nil {
+			return fmt.Errorf("vdsms: decoding query %d: %w", ids[i], err)
+		}
+		if len(dcs) == 0 {
+			return fmt.Errorf("vdsms: query %d has no key frames", ids[i])
+		}
+		cellIDs[i] = d.pipeline.ids(dcs)
+	}
+	if err := d.engine.AddQueries(ids, cellIDs); err != nil {
+		return err
+	}
 	return d.checkpointOnChurn()
 }
 

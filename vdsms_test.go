@@ -249,6 +249,79 @@ func TestAddQueryErrors(t *testing.T) {
 	}
 }
 
+// TestPreFilterFacade pins the facade contract of the pre-filter tier:
+// batch subscription via AddQueries and Config.PreFilter must reproduce
+// the incremental, unfiltered detector's matches exactly.
+func TestPreFilterFacade(t *testing.T) {
+	q1, q2 := clip(t, 21, 16), clip(t, 22, 16)
+	var stream bytes.Buffer
+	err := ComposeStream(&stream, 70, 1,
+		bytes.NewReader(clip(t, 120, 20)),
+		bytes.NewReader(q1),
+		bytes.NewReader(clip(t, 121, 20)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddQuery(1, bytes.NewReader(q1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddQuery(2, bytes.NewReader(q2)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Monitor(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline found no matches; equality check is vacuous")
+	}
+
+	cfg := testConfig()
+	cfg.PreFilter = true
+	pre, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.AddQueries([]int{1, 2}, []io.Reader{bytes.NewReader(q1), bytes.NewReader(q2)}); err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d after batch add", pre.NumQueries())
+	}
+	got, err := pre.Monitor(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("prefilter run found %d matches, baseline %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("match %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	bad := testConfig()
+	bad.PreFilter = true
+	bad.NoIndex = true
+	if _, err := NewDetector(bad); err == nil {
+		t.Error("PreFilter+NoIndex accepted")
+	}
+	det, _ := NewDetector(testConfig())
+	if err := det.AddQueries([]int{1}, nil); err == nil {
+		t.Error("mismatched ids/clips accepted")
+	}
+	if err := det.AddQueries([]int{3}, []io.Reader{bytes.NewReader([]byte("junk"))}); err == nil {
+		t.Error("junk batch clip accepted")
+	}
+}
+
 func TestSynthesizeDeterministic(t *testing.T) {
 	a := clip(t, 9, 5)
 	b := clip(t, 9, 5)
