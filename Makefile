@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke overload-smoke clean
 
 all: build test
 
@@ -67,6 +67,16 @@ queryscale-smoke:
 	QUERYSCALE_REPORT_DIR=$(CURDIR)/queryscale-report $(GO) test -race -count=1 \
 		-run 'TestQueryScaleSmoke|TestPreFilter|TestProbeShardMasked|TestProbeChurn|TestAddRemoveErrors|TestAddBatch|TestRowMask' \
 		./internal/qindex ./internal/core ./internal/experiments
+
+# Overload gate under the race detector: the degrade-layer unit suites plus
+# the calibrate → observe → shed sweep at 2× sustainable ingest. The shed
+# pass must reach decode shedding and bring the steady p99 back inside the
+# budget with recall ≥ 0.5; the sweep report lands in overload-report/.
+overload-smoke:
+	$(GO) test -race -count=1 ./internal/degrade
+	OVERLOAD_REPORT_DIR=$(CURDIR)/overload-report $(GO) test -race -count=1 \
+		-run 'TestOverloadSmoke|TestOverload|TestReadyz|TestMonitorContext' \
+		./internal/experiments ./internal/server .
 
 # Crash-recovery sweep under the race detector: snapshot/restore at every
 # window boundary and worker-count combination must reproduce the

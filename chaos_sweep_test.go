@@ -1,0 +1,201 @@
+package vdsms
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"vdsms/internal/degrade/chaos"
+	"vdsms/internal/mpeg"
+)
+
+// The crash/corruption sweep: every fault class the chaos injector
+// produces is driven through a resync-enabled monitor, which must complete
+// without error and keep its match output on the uncorrupted spans intact.
+
+// sweepStream builds the sweep's fixed stream — 30s background, the 20s
+// query verbatim, 30s background, all-intra at 2 fps — and returns the
+// encoded stream plus the query clip.
+func sweepStream(t *testing.T) (stream, query []byte) {
+	t.Helper()
+	query = clip(t, 1, 20)
+	var buf bytes.Buffer
+	err := ComposeStream(&buf, 80, 1,
+		bytes.NewReader(clip(t, 100, 30)),
+		bytes.NewReader(query),
+		bytes.NewReader(clip(t, 101, 30)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), query
+}
+
+// monitorResilient runs one fresh resync-enabled detector over the stream.
+func monitorResilient(t *testing.T, query []byte, stream io.Reader) ([]Match, OverloadStats) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Resync = true
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := det.Monitor(stream)
+	if err != nil {
+		t.Fatalf("resilient Monitor errored: %v", err)
+	}
+	return matches, det.Overload()
+}
+
+// identicalMatches fails unless got and want are byte-identical.
+func identicalMatches(t *testing.T, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d matches, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChaosSweep(t *testing.T) {
+	stream, query := sweepStream(t)
+	clean, cleanStats := monitorResilient(t, query, bytes.NewReader(stream))
+	if len(clean) == 0 {
+		t.Fatal("setup: clean run found no matches")
+	}
+	if cleanStats.CorruptFrames != 0 || cleanStats.Truncated != 0 {
+		t.Fatalf("setup: clean run reported damage: %+v", cleanStats)
+	}
+	spans, err := mpeg.Frames(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30s of 2 fps background = frames [0,60); query occupies [60,100);
+	// trailing background [100,160).
+	if len(spans) != 160 {
+		t.Fatalf("setup: %d frames, want 160", len(spans))
+	}
+
+	t.Run("type-byte corruption", func(t *testing.T) {
+		damaged, err := chaos.New(11).SmashType(stream, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := monitorResilient(t, query, bytes.NewReader(damaged))
+		identicalMatches(t, got, clean)
+		if stats.CorruptFrames != 1 || stats.Resyncs != 0 {
+			t.Fatalf("stats = %+v, want one in-place corrupt frame", stats)
+		}
+	})
+
+	t.Run("payload bit flips", func(t *testing.T) {
+		damaged, err := chaos.New(12).FlipPayloadBits(stream, 30, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := monitorResilient(t, query, bytes.NewReader(damaged))
+		identicalMatches(t, got, clean)
+	})
+
+	t.Run("length-field smash", func(t *testing.T) {
+		damaged, err := chaos.New(13).SmashLength(stream, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := monitorResilient(t, query, bytes.NewReader(damaged))
+		if stats.Resyncs == 0 || stats.SkippedBytes == 0 {
+			t.Fatalf("stats = %+v, want a byte-scan resync", stats)
+		}
+		// A resync can shift subsequent frame indices by the frames lost in
+		// the smashed span, so times are compared with slack instead of
+		// byte-identically.
+		if len(got) != len(clean) {
+			t.Fatalf("%d matches, want %d", len(got), len(clean))
+		}
+		const slack = 1500 * time.Millisecond
+		for i, m := range got {
+			w := clean[i]
+			if m.QueryID != w.QueryID {
+				t.Fatalf("match %d query %d, want %d", i, m.QueryID, w.QueryID)
+			}
+			for _, d := range []time.Duration{m.Start - w.Start, m.End - w.End, m.DetectedAt - w.DetectedAt} {
+				if d < -slack || d > slack {
+					t.Fatalf("match %d drifted beyond %v: %+v vs %+v", i, slack, m, w)
+				}
+			}
+		}
+	})
+
+	t.Run("truncation after the copy", func(t *testing.T) {
+		damaged, err := chaos.New(14).Truncate(stream, 130)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := monitorResilient(t, query, bytes.NewReader(damaged))
+		identicalMatches(t, got, clean)
+		if stats.Truncated != 1 {
+			t.Fatalf("stats = %+v, want Truncated=1", stats)
+		}
+	})
+
+	t.Run("stalling transport", func(t *testing.T) {
+		sr := chaos.NewStallReader(bytes.NewReader(stream), 13, 4)
+		got, stats := monitorResilient(t, query, sr)
+		identicalMatches(t, got, clean)
+		if sr.Stalls() != 4 {
+			t.Fatalf("%d stalls delivered, want 4", sr.Stalls())
+		}
+		if stats.ReadRetries < 4 {
+			t.Fatalf("stats = %+v, want ≥ 4 absorbed retries", stats)
+		}
+	})
+
+	t.Run("compound damage", func(t *testing.T) {
+		// Faults compose back-to-front: each transform only needs the
+		// stream prefix up to its target frame to be intact.
+		in := chaos.New(15)
+		damaged, err := in.Truncate(stream, 140)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if damaged, err = in.FlipPayloadBits(damaged, 110, 24); err != nil {
+			t.Fatal(err)
+		}
+		if damaged, err = in.SmashType(damaged, 15); err != nil {
+			t.Fatal(err)
+		}
+		sr := chaos.NewStallReader(bytes.NewReader(damaged), 29, 3)
+		got, stats := monitorResilient(t, query, sr)
+		identicalMatches(t, got, clean)
+		if stats.CorruptFrames == 0 || stats.Truncated != 1 {
+			t.Fatalf("stats = %+v, want corruption and truncation absorbed", stats)
+		}
+	})
+}
+
+// TestChaosStrictModeStillErrors pins the default behaviour: without
+// Config.Resync, corruption surfaces as an error (no silent resilience).
+func TestChaosStrictModeStillErrors(t *testing.T) {
+	stream, query := sweepStream(t)
+	damaged, err := chaos.New(16).SmashType(stream, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddQuery(1, bytes.NewReader(query)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Monitor(bytes.NewReader(damaged)); err == nil {
+		t.Fatal("strict monitor consumed a corrupt stream without error")
+	}
+}

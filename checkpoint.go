@@ -178,6 +178,7 @@ func Resume(cfg Config) (*Detector, bool, error) {
 		eng.OnMatch = d.forward
 		d.armSlowWindow(eng)
 		d.armTrace(eng)
+		d.armOverload(eng)
 		ckFrame = ck.Engine.Frame
 	}
 

@@ -21,6 +21,16 @@
 // on a side listener while it runs; set TELEMETRY_SLOW_WINDOW=budget to
 // also log any basic window that processes slower than real time.
 //
+// With -real-time-budget the overload controller watches per-window ingest
+// latency against the budget; adding -shed lets it drop low-information
+// work (cheap cell-id substitution, skipped entropy decodes) under
+// sustained overload and recover when the load clears. With -resync,
+// corrupt or truncated streams are resynchronised instead of aborting the
+// monitor. Both report what they absorbed on exit and via /metrics.
+//
+// Bad -q paths are logged and skipped, not fatal — the run aborts only if
+// no query loads at all.
+//
 // With -explain every candidate-lifecycle decision is journaled and every
 // MATCH line is followed by an EXPLAIN line: the per-window estimate
 // trajectory that crossed δ, the combination order and signature method,
@@ -79,6 +89,9 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "minimum interval between periodic checkpoints")
 	resume := flag.Bool("resume", false, "restore state from -checkpoint-dir and replay the frame log before monitoring")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while monitoring (e.g. :8655)")
+	rtBudget := flag.Duration("real-time-budget", 0, "per-window ingest latency budget; when the p99 breaches, load is shed to recover (0 = off)")
+	shed := flag.Bool("shed", false, "allow the overload controller to actually shed work (without it the budget is observe-only)")
+	resync := flag.Bool("resync", false, "tolerate corrupt or truncated streams: resynchronise and keep monitoring instead of erroring")
 	explain := flag.Bool("explain", false, "trace candidate lifecycles and print an EXPLAIN line (trajectory, audit) per match")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
@@ -116,6 +129,9 @@ func main() {
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.RealTimeBudget = *rtBudget
+	cfg.Shed = *shed
+	cfg.Resync = *resync
 	if *explain {
 		// Journal every lifecycle decision and exact-audit every report and
 		// prune — for a one-shot CLI run the audit cost is irrelevant and
@@ -158,32 +174,9 @@ func main() {
 		fatal(err)
 	}
 
-	have := make(map[int]bool)
-	for _, id := range det.QueryIDs() {
-		have[id] = true
-	}
-	for i, spec := range qs {
-		id := i + 1
-		path := spec
-		if eq := strings.IndexByte(spec, '='); eq > 0 {
-			if v, err := strconv.Atoi(spec[:eq]); err == nil {
-				id, path = v, spec[eq+1:]
-			}
-		}
-		if have[id] {
-			fmt.Fprintf(os.Stderr, "query %d already subscribed (restored); skipping %s\n", id, path)
-			continue
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			fatal(err)
-		}
-		err = det.AddQuery(id, f)
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("loading query %s: %w", path, err))
-		}
-		fmt.Fprintf(os.Stderr, "subscribed query %d (%s)\n", id, path)
+	subscribeQueries(det, qs)
+	if det.NumQueries() == 0 {
+		fatal(fmt.Errorf("no queries could be loaded; nothing to monitor"))
 	}
 
 	if *saveSet != "" {
@@ -251,6 +244,17 @@ func main() {
 	st := det.Stats()
 	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",
 		st.Frames, st.Windows, st.Matches, st.AvgSignatures())
+	if *rtBudget > 0 || *resync {
+		o := det.Overload()
+		if o.Armed {
+			fmt.Fprintf(os.Stderr, "overload: level %d/%d, %d/%d windows in shed mode, steady p99 %s (budget %s), shed extract=%d decode=%d\n",
+				o.Level, o.MaxLevel, o.ShedWindows, o.Observed, o.RunP99, o.Budget, o.ExtractShed, o.DecodeShed)
+		}
+		if *resync {
+			fmt.Fprintf(os.Stderr, "resync: %d corrupt frames, %d scans (%d bytes skipped), %d truncations, %d read retries\n",
+				o.CorruptFrames, o.Resyncs, o.SkippedBytes, o.Truncated, o.ReadRetries)
+		}
+	}
 	if *explain {
 		fmt.Fprintln(os.Stderr, explainSummary(det))
 	}
@@ -271,6 +275,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parallel: %d workers, %d comparisons, shard balance %.2f\n",
 			len(st.Shards), total, balance)
 	}
+}
+
+// subscribeQueries loads the repeated -q specs ("path" or "id=path") into
+// det. A bad path or an undecodable clip is logged and skipped rather than
+// fatal: in a monitoring fleet one stale query file should not keep the
+// remaining queries from being watched. The caller decides whether zero
+// loaded queries is fatal. Returns the number of queries subscribed here.
+func subscribeQueries(det *vdsms.Detector, qs []string) int {
+	have := make(map[int]bool)
+	for _, id := range det.QueryIDs() {
+		have[id] = true
+	}
+	loaded := 0
+	for i, spec := range qs {
+		id := i + 1
+		path := spec
+		if eq := strings.IndexByte(spec, '='); eq > 0 {
+			if v, err := strconv.Atoi(spec[:eq]); err == nil {
+				id, path = v, spec[eq+1:]
+			}
+		}
+		if have[id] {
+			fmt.Fprintf(os.Stderr, "query %d already subscribed (restored); skipping %s\n", id, path)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcdmon: skipping query %d: %v\n", id, err)
+			continue
+		}
+		err = det.AddQuery(id, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcdmon: skipping query %d (%s): %v\n", id, path, err)
+			continue
+		}
+		have[id] = true
+		loaded++
+		fmt.Fprintf(os.Stderr, "subscribed query %d (%s)\n", id, path)
+	}
+	return loaded
 }
 
 // explainLine renders one match's provenance record: the per-window

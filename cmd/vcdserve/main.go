@@ -12,7 +12,7 @@
 //	GET    /stats                             service counters (incl. per-shard work)
 //	GET    /metrics                           Prometheus text exposition
 //	GET    /healthz                           liveness probe
-//	GET    /readyz                            readiness probe (200 once restored)
+//	GET    /readyz                            readiness probe (200 once restored; 503 at max shed level)
 //	POST   /snapshot                          checkpoint service state now
 //	GET    /debug/events                      lifecycle event journal (arm with -trace-events)
 //	GET    /debug/matches[/{id}]              match provenance (explain) records
@@ -23,6 +23,13 @@
 // restores from an existing checkpoint on boot, checkpoints on every
 // subscription change and on POST /snapshot, and on SIGINT/SIGTERM drains
 // in-flight streams, writes a final checkpoint and exits 0.
+//
+// With -real-time-budget every stream feeds one shared overload control
+// loop; adding -shed lets the service drop low-information work under
+// sustained overload instead of falling behind, GET /stats grows a "shed"
+// block, and GET /readyz reports 503 while shedding at the maximum level
+// so load balancers route new streams elsewhere. With -resync, corrupt or
+// truncated uploads are resynchronised rather than failing the POST.
 //
 // Example session (with vcdgen-produced files):
 //
@@ -60,6 +67,9 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "persist service state in this directory (restore on boot)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 	drain := flag.Duration("drain", 30*time.Second, "in-flight stream drain timeout on shutdown")
+	rtBudget := flag.Duration("real-time-budget", 0, "per-window ingest latency budget shared by all streams; breaching p99 raises the shed level and /readyz degrades at the maximum (0 = off)")
+	shed := flag.Bool("shed", false, "allow the overload controller to actually shed work (without it the budget is observe-only)")
+	resync := flag.Bool("resync", false, "tolerate corrupt or truncated uploaded streams: resynchronise and keep monitoring instead of failing the POST")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	traceEvents := flag.Int("trace-events", 0, "arm decision-provenance tracing with an event journal of this capacity (0 = off)")
 	auditFraction := flag.Float64("audit-fraction", 0, "exact-audit this fraction of report/prune decisions against Theorem 1's bound (implies tracing; 0 = off)")
@@ -81,6 +91,9 @@ func main() {
 	cfg.PreFilter = *preFilter
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
+	cfg.RealTimeBudget = *rtBudget
+	cfg.Shed = *shed
+	cfg.Resync = *resync
 	cfg.TraceEvents = *traceEvents
 	cfg.AuditFraction = *auditFraction
 	cfg.StreamName = "root"

@@ -67,6 +67,12 @@ type Engine struct {
 	// OnSlowWindow receives slow-window traces; invoked synchronously on
 	// the pushing goroutine, so keep it cheap.
 	OnSlowWindow func(SlowWindowTrace)
+	// OnWindowDone, when non-nil, receives every basic window's total
+	// processing duration, synchronously on the pushing goroutine — the
+	// overload controller's feed. Setting it forces the timed path (the
+	// same clock reads telemetry uses), so leave it nil unless a consumer
+	// is actually listening.
+	OnWindowDone func(total time.Duration)
 
 	// Decision-provenance state (see trace.go). trc is nil unless tracing
 	// was armed; its enabled flag is sampled once per window into
@@ -285,7 +291,7 @@ func (e *Engine) processWindow() {
 	e.stats.Windows++
 	telWindows.Inc()
 	slow := e.slowBudget()
-	timed := telemetry.Enabled() || (slow > 0 && e.OnSlowWindow != nil)
+	timed := telemetry.Enabled() || (slow > 0 && e.OnSlowWindow != nil) || e.OnWindowDone != nil
 	var t0, t1 time.Time
 	if timed {
 		t0 = time.Now()
@@ -380,7 +386,11 @@ func (e *Engine) processWindow() {
 	e.foldShardStats()
 	if timed {
 		end := time.Now()
-		e.observeWindow(win, slow, sketchD, preD+end.Sub(tMerge), end.Sub(t0))
+		total := end.Sub(t0)
+		e.observeWindow(win, slow, sketchD, preD+end.Sub(tMerge), total)
+		if e.OnWindowDone != nil {
+			e.OnWindowDone(total)
+		}
 	}
 }
 

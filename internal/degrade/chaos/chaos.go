@@ -1,0 +1,155 @@
+// Package chaos is the fault injector behind the crash/corruption sweep:
+// seeded, deterministic damage to encoded MVC1 streams (payload bit flips,
+// smashed frame-header fields, truncation) and to the transport carrying
+// them (stalling readers that fail with timeout errors). Every transform is
+// pure — the input bytes are never modified — and driven by an explicit
+// seed, so a failing sweep case replays exactly.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"vdsms/internal/mpeg"
+)
+
+// Injector applies seeded faults to encoded streams. Not safe for
+// concurrent use; make one per test case.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an injector with its own deterministic random stream.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// frame resolves the index-th frame of a stream. Earlier injected damage
+// is tolerated as long as it lies past the target frame (mpeg.Frames
+// reports the intact prefix), so compound faults compose by applying them
+// back-to-front.
+func frame(data []byte, index int) (mpeg.FrameSpan, error) {
+	spans, err := mpeg.Frames(data)
+	if index < 0 || index >= len(spans) {
+		if err != nil {
+			return mpeg.FrameSpan{}, fmt.Errorf("chaos: walking stream (frame %d unreached): %w", index, err)
+		}
+		return mpeg.FrameSpan{}, fmt.Errorf("chaos: frame %d out of range [0,%d)", index, len(spans))
+	}
+	return spans[index], nil
+}
+
+// FlipPayloadBits returns a copy of data with flips random bits flipped
+// inside frame index's payload. Frame headers are untouched, so the stream
+// structure survives — only the frame's content is damaged.
+func (in *Injector) FlipPayloadBits(data []byte, index, flips int) ([]byte, error) {
+	span, err := frame(data, index)
+	if err != nil {
+		return nil, err
+	}
+	if span.PayloadLen == 0 {
+		return nil, fmt.Errorf("chaos: frame %d has an empty payload", index)
+	}
+	out := append([]byte(nil), data...)
+	start := span.Off + mpeg.FrameHeaderBytes
+	for i := 0; i < flips; i++ {
+		out[start+in.rng.Intn(span.PayloadLen)] ^= 1 << in.rng.Intn(8)
+	}
+	return out, nil
+}
+
+// SmashType returns a copy of data with frame index's type byte replaced by
+// a random byte that is not a valid frame type. The length field stays
+// readable, so a resilient decoder can skip the frame in place.
+func (in *Injector) SmashType(data []byte, index int) ([]byte, error) {
+	span, err := frame(data, index)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), data...)
+	for {
+		b := byte(in.rng.Intn(256))
+		if b != 'I' && b != 'P' {
+			out[span.Off] = b
+			return out, nil
+		}
+	}
+}
+
+// SmashLength returns a copy of data with frame index's length field
+// overwritten by a value far past any plausible payload bound, destroying
+// frame sync at that point — the classic torn-write shape.
+func (in *Injector) SmashLength(data []byte, index int) ([]byte, error) {
+	span, err := frame(data, index)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), data...)
+	v := 0xF0000000 | uint32(in.rng.Int31())
+	out[span.Off+1] = byte(v >> 24)
+	out[span.Off+2] = byte(v >> 16)
+	out[span.Off+3] = byte(v >> 8)
+	out[span.Off+4] = byte(v)
+	return out, nil
+}
+
+// Truncate returns the prefix of data that cuts frame index's payload in
+// half — the stream ends mid-frame, as after a crashed writer.
+func (in *Injector) Truncate(data []byte, index int) ([]byte, error) {
+	span, err := frame(data, index)
+	if err != nil {
+		return nil, err
+	}
+	cut := span.Off + mpeg.FrameHeaderBytes + span.PayloadLen/2
+	return append([]byte(nil), data[:cut]...), nil
+}
+
+// stallError is the transient failure a StallReader produces.
+type stallError struct{}
+
+func (stallError) Error() string   { return "chaos: simulated read stall" }
+func (stallError) Timeout() bool   { return true }
+func (stallError) Temporary() bool { return true }
+
+// StallReader wraps a reader and fails every period-th Read call with a
+// timeout error (up to maxStalls total), simulating a stalling transport.
+// No data is ever lost — a stalled call returns zero bytes and the next
+// call proceeds normally. Safe for use from one goroutine.
+type StallReader struct {
+	r         io.Reader
+	period    int
+	maxStalls int
+
+	mu     sync.Mutex
+	calls  int
+	stalls int
+}
+
+// NewStallReader wraps r; period <= 0 disables stalling.
+func NewStallReader(r io.Reader, period, maxStalls int) *StallReader {
+	return &StallReader{r: r, period: period, maxStalls: maxStalls}
+}
+
+// Read implements io.Reader.
+func (s *StallReader) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	s.calls++
+	stall := s.period > 0 && s.calls%s.period == 0 && s.stalls < s.maxStalls
+	if stall {
+		s.stalls++
+	}
+	s.mu.Unlock()
+	if stall {
+		return 0, stallError{}
+	}
+	return s.r.Read(p)
+}
+
+// Stalls reports how many reads have failed so far.
+func (s *StallReader) Stalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalls
+}

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vdsms/internal/mpeg"
+	"vdsms/internal/vframe"
+)
+
+func stream(t *testing.T, frames int) []byte {
+	t.Helper()
+	src := vframe.NewSynth(vframe.SynthConfig{W: 64, H: 48, NumFrames: frames, Seed: 99, FPS: 30})
+	var buf bytes.Buffer
+	if _, err := mpeg.EncodeSource(&buf, src, 80, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	data := stream(t, 6)
+	a, err := New(7).FlipPayloadBits(data, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(7).FlipPayloadBits(data, 2, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different damage")
+	}
+	c, _ := New(8).FlipPayloadBits(data, 2, 5)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical damage")
+	}
+}
+
+func TestTransformsArePure(t *testing.T) {
+	data := stream(t, 6)
+	orig := append([]byte(nil), data...)
+	in := New(1)
+	in.FlipPayloadBits(data, 1, 8)
+	in.SmashType(data, 2)
+	in.SmashLength(data, 3)
+	in.Truncate(data, 4)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("a transform modified its input")
+	}
+}
+
+func TestFlipPayloadBitsKeepsStructure(t *testing.T) {
+	data := stream(t, 6)
+	out, err := New(3).FlipPayloadBits(data, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, data) {
+		t.Fatal("no bits changed")
+	}
+	spans, err := mpeg.Frames(out)
+	if err != nil || len(spans) != 6 {
+		t.Fatalf("damaged stream structure: %d frames, %v", len(spans), err)
+	}
+	// Damage is confined to frame 2's payload.
+	want, _ := mpeg.Frames(data)
+	lo := want[2].Off + mpeg.FrameHeaderBytes
+	hi := lo + want[2].PayloadLen
+	for i := range out {
+		if out[i] != data[i] && (i < lo || i >= hi) {
+			t.Fatalf("byte %d outside frame 2's payload [%d,%d) changed", i, lo, hi)
+		}
+	}
+}
+
+func TestSmashTypeBreaksOnlyTheTypeByte(t *testing.T) {
+	data := stream(t, 6)
+	out, err := New(5).SmashType(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := mpeg.Frames(data)
+	if out[spans[3].Off] == 'I' || out[spans[3].Off] == 'P' {
+		t.Fatal("smashed type byte is still a valid frame type")
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+	if _, err := mpeg.Frames(out); err == nil {
+		t.Fatal("structure walk accepted the smashed type")
+	}
+}
+
+func TestSmashLengthDestroysSync(t *testing.T) {
+	data := stream(t, 6)
+	out, err := New(6).SmashLength(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpeg.Frames(out); err == nil {
+		t.Fatal("structure walk accepted the smashed length")
+	}
+}
+
+func TestTruncateCutsMidPayload(t *testing.T) {
+	data := stream(t, 6)
+	out, err := New(2).Truncate(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := mpeg.Frames(data)
+	if len(out) >= spans[4].Off+mpeg.FrameHeaderBytes+spans[4].PayloadLen {
+		t.Fatal("truncation kept frame 4 whole")
+	}
+	if len(out) <= spans[4].Off {
+		t.Fatal("truncation removed frame 4's header entirely")
+	}
+}
+
+func TestFrameIndexOutOfRange(t *testing.T) {
+	data := stream(t, 3)
+	if _, err := New(1).SmashType(data, 10); err == nil {
+		t.Fatal("out-of-range frame index accepted")
+	}
+}
+
+func TestStallReader(t *testing.T) {
+	payload := bytes.Repeat([]byte("abc"), 100)
+	sr := NewStallReader(bytes.NewReader(payload), 3, 2)
+	var got []byte
+	buf := make([]byte, 7)
+	stalls := 0
+	for {
+		n, err := sr.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var to interface{ Timeout() bool }
+			if !errors.As(err, &to) || !to.Timeout() {
+				t.Fatalf("stall error %v does not report Timeout()", err)
+			}
+			stalls++
+			continue
+		}
+	}
+	if stalls != 2 || sr.Stalls() != 2 {
+		t.Fatalf("observed %d stalls (reader says %d), want 2", stalls, sr.Stalls())
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stalling lost or reordered data")
+	}
+}

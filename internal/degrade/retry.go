@@ -1,0 +1,80 @@
+package degrade
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// retry policy for transient read errors: capped exponential backoff.
+const (
+	retryBase     = 5 * time.Millisecond
+	retryCap      = 250 * time.Millisecond
+	retryAttempts = 8
+)
+
+// timeoutErr and temporaryErr match the de-facto stdlib conventions for
+// transient I/O failures (net.Error and friends) without importing net.
+type timeoutErr interface{ Timeout() bool }
+type temporaryErr interface{ Temporary() bool }
+
+// transient reports whether err looks recoverable by retrying: a timeout or
+// a self-declared temporary condition anywhere in the error chain.
+func transient(err error) bool {
+	var to timeoutErr
+	if errors.As(err, &to) && to.Timeout() {
+		return true
+	}
+	var tmp temporaryErr
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return true
+	}
+	return false
+}
+
+// RetryReader wraps a stream source and absorbs transient read errors
+// (timeouts, temporary conditions) with capped exponential backoff, so a
+// stalling transport costs latency instead of aborting the monitor. A
+// non-transient error, or a transient one persisting past the attempt
+// budget, is returned unchanged.
+type RetryReader struct {
+	r       io.Reader
+	retries atomic.Int64
+
+	// sleep is swappable for tests; defaults to time.Sleep.
+	sleep func(time.Duration)
+}
+
+// NewRetryReader wraps r.
+func NewRetryReader(r io.Reader) *RetryReader {
+	return &RetryReader{r: r, sleep: time.Sleep}
+}
+
+// Read implements io.Reader. Progress beats errors: when the underlying
+// read returns bytes alongside a transient error, the bytes are delivered
+// and the error swallowed — the retry clock restarts on the next call.
+func (rr *RetryReader) Read(p []byte) (int, error) {
+	backoff := retryBase
+	for attempt := 0; ; attempt++ {
+		n, err := rr.r.Read(p)
+		if err == nil || !transient(err) {
+			return n, err
+		}
+		if n > 0 {
+			return n, nil
+		}
+		if attempt >= retryAttempts {
+			return 0, err
+		}
+		rr.retries.Add(1)
+		rr.sleep(backoff)
+		backoff *= 2
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// Retries returns how many transient errors have been absorbed so far.
+func (rr *RetryReader) Retries() int64 { return rr.retries.Load() }

@@ -1,0 +1,136 @@
+package degrade
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// flaky fails reads with err until fails runs out, then serves from data.
+type flaky struct {
+	data  io.Reader
+	err   error
+	fails int
+}
+
+func (f *flaky) Read(p []byte) (int, error) {
+	if f.fails > 0 {
+		f.fails--
+		return 0, f.err
+	}
+	return f.data.Read(p)
+}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+type temporaryError struct{}
+
+func (temporaryError) Error() string   { return "temporarily unavailable" }
+func (temporaryError) Temporary() bool { return true }
+
+func newTestRetryReader(r io.Reader) (*RetryReader, *[]time.Duration) {
+	rr := NewRetryReader(r)
+	var slept []time.Duration
+	rr.sleep = func(d time.Duration) { slept = append(slept, d) }
+	return rr, &slept
+}
+
+func TestRetryReaderAbsorbsTimeouts(t *testing.T) {
+	src := &flaky{data: bytes.NewReader([]byte("payload")), err: timeoutError{}, fails: 3}
+	rr, slept := newTestRetryReader(src)
+	got, err := io.ReadAll(rr)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadAll = (%q, %v), want (payload, nil)", got, err)
+	}
+	if rr.Retries() != 3 {
+		t.Fatalf("Retries() = %d, want 3", rr.Retries())
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(*slept))
+	}
+	// Backoff doubles from the base.
+	if (*slept)[0] != retryBase || (*slept)[1] != 2*retryBase {
+		t.Fatalf("backoff sequence %v, want %v, %v, ...", *slept, retryBase, 2*retryBase)
+	}
+}
+
+func TestRetryReaderAbsorbsTemporary(t *testing.T) {
+	src := &flaky{data: bytes.NewReader([]byte("x")), err: temporaryError{}, fails: 1}
+	rr, _ := newTestRetryReader(src)
+	if got, err := io.ReadAll(rr); err != nil || string(got) != "x" {
+		t.Fatalf("ReadAll = (%q, %v), want (x, nil)", got, err)
+	}
+}
+
+func TestRetryReaderWrappedTransient(t *testing.T) {
+	wrapped := &flaky{
+		data:  bytes.NewReader([]byte("y")),
+		err:   errors.Join(errors.New("read tcp"), timeoutError{}),
+		fails: 2,
+	}
+	rr, _ := newTestRetryReader(wrapped)
+	if got, err := io.ReadAll(rr); err != nil || string(got) != "y" {
+		t.Fatalf("ReadAll = (%q, %v), want (y, nil)", got, err)
+	}
+}
+
+func TestRetryReaderPassesThroughPermanentErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	rr, slept := newTestRetryReader(&flaky{data: bytes.NewReader(nil), err: boom, fails: 1})
+	if _, err := rr.Read(make([]byte, 8)); !errors.Is(err, boom) {
+		t.Fatalf("Read error = %v, want %v unchanged", err, boom)
+	}
+	if len(*slept) != 0 {
+		t.Fatal("slept on a permanent error")
+	}
+}
+
+func TestRetryReaderGivesUpAfterBudget(t *testing.T) {
+	rr, slept := newTestRetryReader(&flaky{data: bytes.NewReader(nil), err: timeoutError{}, fails: 1 << 30})
+	_, err := rr.Read(make([]byte, 8))
+	var to timeoutErr
+	if !errors.As(err, &to) {
+		t.Fatalf("exhausted retries returned %v, want the timeout error", err)
+	}
+	if len(*slept) != retryAttempts {
+		t.Fatalf("slept %d times, want %d", len(*slept), retryAttempts)
+	}
+	for _, d := range *slept {
+		if d > retryCap {
+			t.Fatalf("backoff %v exceeds cap %v", d, retryCap)
+		}
+	}
+}
+
+// progressReader returns data and a transient error in the same call.
+type progressReader struct{ done bool }
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	if p.done {
+		return 0, io.EOF
+	}
+	p.done = true
+	b[0] = 'z'
+	return 1, timeoutError{}
+}
+
+func TestRetryReaderDeliversPartialProgress(t *testing.T) {
+	rr, slept := newTestRetryReader(&progressReader{})
+	buf := make([]byte, 4)
+	n, err := rr.Read(buf)
+	if n != 1 || err != nil || buf[0] != 'z' {
+		t.Fatalf("Read = (%d, %v), want (1, nil) with payload", n, err)
+	}
+	if len(*slept) != 0 {
+		t.Fatal("slept despite progress")
+	}
+	if _, err := rr.Read(buf); err != io.EOF {
+		t.Fatalf("second read = %v, want io.EOF", err)
+	}
+}

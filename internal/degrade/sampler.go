@@ -1,0 +1,239 @@
+package degrade
+
+// Content-aware shed decisions. At each shed level a target fraction of
+// frames is dropped, but *which* frames is decided by content: every frame
+// carries a cheap interest score (mean |ΔDC| after decode, payload-size
+// delta before decode) and the sampler keeps the frames whose score clears
+// a self-adapting quantile threshold. Static content — where consecutive
+// key frames fingerprint almost identically and the window sketch barely
+// changes — is shed first; high-motion content keeps its full sampling
+// density. A max-run guard bounds consecutive sheds so no span of content,
+// however static, goes completely unobserved.
+//
+// Decode shedding additionally enforces a per-window budget when the
+// caller declares the basic-window cadence (SetWindow): at most
+// ceil(winFrames·(1−drop)) entropy decodes per window, with the threshold
+// choosing which frames get them and a forced keep spending any leftover
+// budget at the window tail. The cap is what actually bounds tail latency —
+// a pure quantile threshold sheds only where content is static, so the p99
+// window (all-motion, nothing shed) would still run at full cost; under a
+// real-time budget every window must shed, and content decides which
+// frames inside the window survive, not whether the window pays.
+
+// Shed fractions per level. Extract shedding starts at level 1; decode
+// shedding (skipping entropy decode entirely) starts at level 2. At level
+// 3 extract shedding is off again: the decode budget leaves so few real
+// frames per window that substituting one of them would zero out the
+// window's information for a saving that is a rounding error next to the
+// skipped decodes.
+var (
+	extractDrop = [MaxLevel + 1]float64{0, 0.35, 0.35, 0}
+	decodeDrop  = [MaxLevel + 1]float64{0, 0, 0.5, 0.75}
+)
+
+// Max consecutive sheds before a frame is force-kept regardless of score.
+// Every shed frame substitutes a stale cell id whose age grows with the
+// run, so the run bound directly limits how far the emitted cell sequence
+// can lag the content. Runs beyond ~3 key frames destroy sequence
+// similarity faster than they save work (measured: recall collapses to 0
+// at run cap 7 on workloads that survive cap 3 with two thirds of their
+// recall), so both stages share the tight bound.
+const (
+	maxExtractRun = 3
+	maxDecodeRun  = 3
+)
+
+// thresholdTracker follows the f-quantile of a score stream with O(1)
+// stochastic updates (the classic Robbins–Monro quantile estimator): the
+// threshold steps up when a score exceeds it and down otherwise, with
+// asymmetric step sizes so it converges on the value that exactly f of the
+// scores fall below. The step is scaled by a running mean magnitude so the
+// tracker adapts to whatever units the signal arrives in.
+type thresholdTracker struct {
+	f      float64 // target drop fraction: keep scores above the f-quantile
+	thr    float64
+	mag    float64 // running mean |score|
+	primed bool
+}
+
+// update feeds one score and reports whether it clears the threshold.
+func (t *thresholdTracker) update(score float64) bool {
+	abs := score
+	if abs < 0 {
+		abs = -abs
+	}
+	if !t.primed {
+		t.mag = abs
+		t.thr = score
+		t.primed = true
+		return true
+	}
+	t.mag += 0.05 * (abs - t.mag)
+	keep := score >= t.thr
+	eta := 0.05 * (t.mag + 1e-9)
+	if keep {
+		t.thr += eta * t.f
+	} else {
+		t.thr -= eta * (1 - t.f)
+	}
+	return keep
+}
+
+func (t *thresholdTracker) reset() { t.primed = false }
+
+// Sampler makes per-frame keep/shed decisions for one monitored stream at
+// the controller's current level. Not safe for concurrent use.
+type Sampler struct {
+	extract  thresholdTracker
+	decode   thresholdTracker
+	extRun   int // consecutive extract sheds
+	decRun   int // consecutive decode sheds
+	prevSize int
+	haveSize bool
+
+	// Window-budget state (SetWindow). winFrames 0 = no cadence declared:
+	// decode shedding then falls back to the pure threshold + run guard.
+	winFrames    int
+	frameInWin   int
+	decodedInWin int
+}
+
+// SetWindow declares the basic-window cadence: winFrames key frames per
+// window, with the next KeepDecode call sitting phase frames into the
+// current window. Decode shedding then runs under a per-window budget of
+// ceil(winFrames·(1−drop)) decodes — see the package comment. winFrames
+// ≤ 0 clears the cadence.
+func (s *Sampler) SetWindow(winFrames, phase int) {
+	if winFrames <= 0 {
+		s.winFrames, s.frameInWin, s.decodedInWin = 0, 0, 0
+		return
+	}
+	if phase < 0 || phase >= winFrames {
+		phase = 0
+	}
+	s.winFrames = winFrames
+	s.frameInWin = phase
+	s.decodedInWin = 0
+}
+
+// NewSampler returns a sampler with untrained thresholds; the first frames
+// at each level are kept while the trackers prime.
+func NewSampler() *Sampler {
+	return &Sampler{}
+}
+
+// Reset forgets all learned thresholds and run state — called when the
+// monitored stream changes. The declared window cadence survives; its
+// phase restarts.
+func (s *Sampler) Reset() {
+	s.extract.reset()
+	s.decode.reset()
+	s.extRun, s.decRun = 0, 0
+	s.haveSize = false
+	s.frameInWin, s.decodedInWin = 0, 0
+}
+
+// KeepExtract decides whether a decoded key frame gets full feature
+// extraction at the given shed level. score is the motion proxy (mean
+// |ΔDC|, feature.MotionScorer); scoreOK is false when no comparable
+// previous frame exists, which forces a keep. Frames that are not kept
+// substitute the previous frame's cell id downstream.
+func (s *Sampler) KeepExtract(level int, score float64, scoreOK bool) bool {
+	if level <= 0 || level > MaxLevel || extractDrop[level] == 0 {
+		s.extRun = 0
+		return true
+	}
+	if !scoreOK || s.extRun >= maxExtractRun {
+		s.extRun = 0
+		// Prime the tracker even on forced keeps so the threshold keeps
+		// learning the stream's score scale.
+		if scoreOK {
+			s.extract.f = extractDrop[level]
+			s.extract.update(score)
+		}
+		return true
+	}
+	s.extract.f = extractDrop[level]
+	if s.extract.update(score) {
+		s.extRun = 0
+		return true
+	}
+	s.extRun++
+	return false
+}
+
+// KeepDecode decides, before any entropy decoding, whether a key frame is
+// worth decoding at the given shed level. payloadBytes is the frame's
+// compressed size — its delta against the previous kept-or-shed frame is
+// the pre-decode change proxy (a static scene compresses to nearly the
+// same size every frame; a cut or high motion moves it sharply). With a
+// declared window cadence the decision runs under the per-window decode
+// budget; without one it is a pure quantile threshold with the max-run
+// guard.
+func (s *Sampler) KeepDecode(level int, payloadBytes int) bool {
+	delta := 0
+	if s.haveSize {
+		delta = payloadBytes - s.prevSize
+		if delta < 0 {
+			delta = -delta
+		}
+	}
+	first := !s.haveSize
+	s.prevSize = payloadBytes
+	s.haveSize = true
+
+	pos := s.frameInWin
+	if s.winFrames > 0 {
+		if pos == 0 {
+			s.decodedInWin = 0
+		}
+		s.frameInWin = (s.frameInWin + 1) % s.winFrames
+	}
+	keep := s.keepDecode(level, delta, first, pos)
+	if keep {
+		s.decodedInWin++
+	}
+	return keep
+}
+
+func (s *Sampler) keepDecode(level int, delta int, first bool, pos int) bool {
+	if level < 2 || level > MaxLevel || decodeDrop[level] == 0 {
+		s.decRun = 0
+		return true
+	}
+	s.decode.f = decodeDrop[level]
+	if s.winFrames > 0 {
+		// Window-budget mode: the budget caps this window's decodes (the
+		// latency bound) and a forced keep spends what is left when the
+		// remaining frames could not otherwise use it (the fidelity floor —
+		// every window keeps at least one real frame).
+		budget := int(float64(s.winFrames)*(1-decodeDrop[level]) + 0.5)
+		if budget < 1 {
+			budget = 1
+		}
+		remaining := s.winFrames - pos
+		switch left := budget - s.decodedInWin; {
+		case left <= 0:
+			s.decode.update(float64(delta)) // keep the threshold learning
+			return false
+		case left >= remaining:
+			s.decode.update(float64(delta))
+			return true
+		default:
+			return s.decode.update(float64(delta))
+		}
+	}
+	if first || s.decRun >= maxDecodeRun {
+		s.decRun = 0
+		if !first {
+			s.decode.update(float64(delta))
+		}
+		return true
+	}
+	if s.decode.update(float64(delta)) {
+		s.decRun = 0
+		return true
+	}
+	s.decRun++
+	return false
+}

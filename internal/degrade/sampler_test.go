@@ -1,0 +1,191 @@
+package degrade
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerLevelZeroKeepsEverything(t *testing.T) {
+	s := NewSampler()
+	for i := 0; i < 200; i++ {
+		if !s.KeepExtract(0, 0, true) {
+			t.Fatal("level 0 shed an extract")
+		}
+		if !s.KeepDecode(0, 1000) {
+			t.Fatal("level 0 shed a decode")
+		}
+	}
+}
+
+func TestSamplerLevelOneDoesNotShedDecode(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if !s.KeepDecode(1, 1000+rng.Intn(200)) {
+			t.Fatal("level 1 shed a decode; decode shedding starts at level 2")
+		}
+	}
+}
+
+func TestSamplerShedsNearTargetFraction(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	kept := 0
+	for i := 0; i < n; i++ {
+		// Stationary score distribution: uniform [0, 1).
+		if s.KeepExtract(1, rng.Float64(), true) {
+			kept++
+		}
+	}
+	// Target drop 0.35, but the max-run guard forces keeps, so the realised
+	// drop is a bit lower. Accept a generous band around it.
+	drop := 1 - float64(kept)/n
+	if drop < 0.15 || drop > 0.45 {
+		t.Fatalf("extract drop fraction %.3f, want roughly 0.35 (guarded)", drop)
+	}
+}
+
+func TestSamplerPrefersHighMotion(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(3))
+	var keptHigh, nHigh, keptLow, nLow int
+	for i := 0; i < 6000; i++ {
+		// Bimodal: 70% static (score ~0.01), 30% motion (score ~1).
+		var score float64
+		high := rng.Float64() < 0.3
+		if high {
+			score = 0.9 + 0.2*rng.Float64()
+		} else {
+			score = 0.02 * rng.Float64()
+		}
+		kept := s.KeepExtract(1, score, true)
+		if high {
+			nHigh++
+			if kept {
+				keptHigh++
+			}
+		} else {
+			nLow++
+			if kept {
+				keptLow++
+			}
+		}
+	}
+	hi, lo := float64(keptHigh)/float64(nHigh), float64(keptLow)/float64(nLow)
+	if hi < 0.95 {
+		t.Fatalf("high-motion keep rate %.3f, want ≈ 1", hi)
+	}
+	if lo >= hi {
+		t.Fatalf("static keep rate %.3f not below high-motion %.3f", lo, hi)
+	}
+}
+
+func TestSamplerMaxRunGuard(t *testing.T) {
+	s := NewSampler()
+	// Train the threshold high, then feed identical sub-threshold scores:
+	// runs of sheds must never exceed maxExtractRun.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		s.KeepExtract(1, rng.Float64(), true)
+	}
+	run, worst := 0, 0
+	for i := 0; i < 500; i++ {
+		if s.KeepExtract(1, 0, true) {
+			run = 0
+		} else {
+			run++
+			if run > worst {
+				worst = run
+			}
+		}
+	}
+	if worst > maxExtractRun {
+		t.Fatalf("extract shed run of %d exceeds guard %d", worst, maxExtractRun)
+	}
+
+	d := NewSampler()
+	for i := 0; i < 500; i++ {
+		d.KeepDecode(3, 1000+rng.Intn(500))
+	}
+	run, worst = 0, 0
+	for i := 0; i < 500; i++ {
+		if d.KeepDecode(3, 1000) { // constant size: zero delta, maximally boring
+			run = 0
+		} else {
+			run++
+			if run > worst {
+				worst = run
+			}
+		}
+	}
+	if worst > maxDecodeRun {
+		t.Fatalf("decode shed run of %d exceeds guard %d", worst, maxDecodeRun)
+	}
+}
+
+func TestSamplerForcedKeepsOnUnscorableFrames(t *testing.T) {
+	s := NewSampler()
+	for i := 0; i < 50; i++ {
+		if !s.KeepExtract(3, 0, false) {
+			t.Fatal("unscorable frame was shed")
+		}
+	}
+	d := NewSampler()
+	if !d.KeepDecode(3, 1234) {
+		t.Fatal("first frame (no size delta yet) was shed")
+	}
+}
+
+func TestSamplerLevelThreeShedsMoreDecodesThanLevelTwo(t *testing.T) {
+	rate := func(level int) float64 {
+		s := NewSampler()
+		rng := rand.New(rand.NewSource(11))
+		kept := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if s.KeepDecode(level, 1000+rng.Intn(400)) {
+				kept++
+			}
+		}
+		return 1 - float64(kept)/n
+	}
+	d2, d3 := rate(2), rate(3)
+	if d3 <= d2 {
+		t.Fatalf("decode drop at level 3 (%.3f) not above level 2 (%.3f)", d3, d2)
+	}
+	if d2 < 0.2 {
+		t.Fatalf("decode drop at level 2 = %.3f, suspiciously low", d2)
+	}
+}
+
+func TestSamplerResetForgetsState(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		s.KeepExtract(1, 5+rng.Float64(), true)
+		s.KeepDecode(3, 1000+rng.Intn(400))
+	}
+	s.Reset()
+	// After reset the trackers are unprimed: first scored frames are kept
+	// even with scores far below the previously learned threshold.
+	if !s.KeepExtract(1, 1e-9, true) {
+		t.Fatal("first extract after Reset was shed")
+	}
+	if !s.KeepDecode(3, 1000) {
+		t.Fatal("first decode after Reset was shed")
+	}
+}
+
+func TestThresholdTrackerConvergesOnQuantile(t *testing.T) {
+	tr := thresholdTracker{f: 0.5}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		tr.update(rng.Float64())
+	}
+	// The median of U(0,1) is 0.5; the stochastic tracker should be near it.
+	if math.Abs(tr.thr-0.5) > 0.15 {
+		t.Fatalf("tracked median %.3f, want ≈ 0.5", tr.thr)
+	}
+}

@@ -320,6 +320,7 @@ var Registry = []Experiment{
 	{"parallel", "beyond the paper: intra-stream parallel kernel", Parallel},
 	{"recovery", "beyond the paper: checkpoint/restore + WAL replay", Recovery},
 	{"queryscale", "beyond the paper: pre-filter tier at 10³–10⁶ queries", QueryScale},
+	{"overload", "beyond the paper: load shedding at 2× sustainable ingest", Overload},
 }
 
 // Find returns the experiment with the given name.

@@ -1,0 +1,50 @@
+// Compressed-domain motion proxy for the adaptive-ingest sampler: how much
+// a key frame's DC grid moved relative to the previous key frame. The DC
+// grid is already in hand after partial decode, so the score costs one pass
+// over BW×BH values — no pixels, no extraction, no allocation.
+package feature
+
+import "vdsms/internal/mpeg"
+
+// MotionScorer scores consecutive DC frames by mean absolute DC delta — a
+// cheap motion/scene-change proxy in the same spirit as the encoder's SAD
+// search (internal/mpeg/motion.go), but over the 8×8-block DC plane the
+// partial decoder produces anyway. High scores mean high-motion content
+// whose frames carry fresh information; near-zero scores mean static
+// content where neighbouring frames fingerprint almost identically, which
+// is exactly what the overload sampler sheds first.
+//
+// Not safe for concurrent use: one scorer per monitored stream.
+type MotionScorer struct {
+	prev []float64
+	have bool
+}
+
+// Score returns the mean |ΔDC| between dcf and the previously scored frame.
+// ok is false when no comparable previous frame exists (first frame, or a
+// geometry change mid-stream) — callers must treat such frames as
+// unconditionally interesting.
+func (m *MotionScorer) Score(dcf *mpeg.DCFrame) (score float64, ok bool) {
+	n := len(dcf.DC)
+	if n == 0 {
+		return 0, false
+	}
+	if !m.have || len(m.prev) != n {
+		m.prev = append(m.prev[:0], dcf.DC...)
+		m.have = true
+		return 0, false
+	}
+	var sum float64
+	for i, v := range dcf.DC {
+		d := v - m.prev[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		m.prev[i] = v
+	}
+	return sum / float64(n), true
+}
+
+// Reset forgets the previous frame, so the next Score reports ok=false.
+func (m *MotionScorer) Reset() { m.have = false }

@@ -1,0 +1,65 @@
+package feature
+
+import (
+	"testing"
+
+	"vdsms/internal/mpeg"
+)
+
+func dcFrame(vals ...float64) *mpeg.DCFrame {
+	return &mpeg.DCFrame{BW: len(vals), BH: 1, DC: vals}
+}
+
+func TestMotionScorerFirstFrame(t *testing.T) {
+	var m MotionScorer
+	if _, ok := m.Score(dcFrame(1, 2, 3)); ok {
+		t.Fatal("first frame must report ok=false")
+	}
+	if s, ok := m.Score(dcFrame(1, 2, 3)); !ok || s != 0 {
+		t.Fatalf("identical second frame: got (%g, %v), want (0, true)", s, ok)
+	}
+}
+
+func TestMotionScorerDelta(t *testing.T) {
+	var m MotionScorer
+	m.Score(dcFrame(0, 0, 0, 0))
+	s, ok := m.Score(dcFrame(8, -8, 8, -8))
+	if !ok || s != 8 {
+		t.Fatalf("mean |ΔDC|: got (%g, %v), want (8, true)", s, ok)
+	}
+	// The scorer compares against the immediately preceding frame, not the
+	// first: the same frame again now scores zero.
+	if s, _ := m.Score(dcFrame(8, -8, 8, -8)); s != 0 {
+		t.Fatalf("repeat frame scored %g, want 0", s)
+	}
+}
+
+func TestMotionScorerGeometryChangeResets(t *testing.T) {
+	var m MotionScorer
+	m.Score(dcFrame(1, 2))
+	if _, ok := m.Score(dcFrame(1, 2, 3)); ok {
+		t.Fatal("geometry change must report ok=false")
+	}
+	if _, ok := m.Score(dcFrame(3, 2, 1)); !ok {
+		t.Fatal("frame after geometry change must be comparable again")
+	}
+}
+
+func TestMotionScorerReset(t *testing.T) {
+	var m MotionScorer
+	m.Score(dcFrame(1, 2))
+	m.Reset()
+	if _, ok := m.Score(dcFrame(1, 2)); ok {
+		t.Fatal("Score after Reset must report ok=false")
+	}
+	if _, ok := m.Score(dcFrame(1, 2)); !ok {
+		t.Fatal("second Score after Reset must be comparable")
+	}
+}
+
+func TestMotionScorerEmptyFrame(t *testing.T) {
+	var m MotionScorer
+	if _, ok := m.Score(&mpeg.DCFrame{}); ok {
+		t.Fatal("empty DC grid must report ok=false")
+	}
+}

@@ -127,8 +127,17 @@ func writeFrameHeader(w io.Writer, typ byte, payloadLen int) error {
 // pixel, so corrupt length fields are rejected before any allocation.
 func (h StreamHeader) maxPayload() int { return h.W*h.H*8 + 4096 }
 
+// Sentinel causes of frame-header rejection. The resync path in
+// PartialDecoder distinguishes them: a bad type byte with a plausible
+// length can be skipped in place, anything else means frame sync is lost.
+var (
+	errUnknownFrameType = errors.New("mpeg: unknown frame type")
+	errPayloadBound     = errors.New("mpeg: frame payload exceeds bound")
+)
+
 // readFrameHeader returns (type, payloadLen). io.EOF signals a clean end of
-// stream at a frame boundary.
+// stream at a frame boundary. On a validation error the parsed fields are
+// still returned so a resilient caller can decide how to recover.
 func readFrameHeader(r io.Reader, h StreamHeader) (byte, int, error) {
 	var buf [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -138,14 +147,62 @@ func readFrameHeader(r io.Reader, h StreamHeader) (byte, int, error) {
 		return 0, 0, fmt.Errorf("mpeg: reading frame header: %w", err)
 	}
 	typ := buf[0]
-	if typ != frameTypeI && typ != frameTypeP {
-		return 0, 0, fmt.Errorf("mpeg: unknown frame type %q", typ)
-	}
 	n := int(binary.BigEndian.Uint32(buf[1:]))
+	if typ != frameTypeI && typ != frameTypeP {
+		return typ, n, fmt.Errorf("%w %q", errUnknownFrameType, typ)
+	}
 	if n > h.maxPayload() {
-		return 0, 0, fmt.Errorf("mpeg: frame payload of %d bytes exceeds the %d-byte bound", n, h.maxPayload())
+		return typ, n, fmt.Errorf("%w: %d bytes over the %d-byte limit", errPayloadBound, n, h.maxPayload())
 	}
 	return typ, n, nil
+}
+
+// HeaderBytes is the encoded size of the stream header; FrameHeaderBytes
+// the encoded size of a per-frame header. Exported for tooling that works
+// on raw encoded streams (fault injection, stream surgery).
+const (
+	HeaderBytes      = headerSize
+	FrameHeaderBytes = frameHeaderSize
+)
+
+// FrameSpan locates one frame inside an intact encoded stream: its frame
+// header starts at Off, the payload of PayloadLen bytes follows the header.
+type FrameSpan struct {
+	Off        int
+	Type       byte // 'I' or 'P'
+	PayloadLen int
+}
+
+// Frames walks an encoded stream's structure and returns every frame's
+// position. The fault-injection tooling uses it to aim damage at specific
+// frames; it is not a decoder and reads no payload bytes. On structural
+// damage it returns the spans walked before the damage together with the
+// error, so callers can still address the intact prefix.
+func Frames(data []byte) ([]FrameSpan, error) {
+	if len(data) < headerSize {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if [4]byte(data[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	var spans []FrameSpan
+	off := headerSize
+	for off < len(data) {
+		if off+frameHeaderSize > len(data) {
+			return spans, fmt.Errorf("mpeg: torn frame header at offset %d", off)
+		}
+		typ := data[off]
+		if typ != frameTypeI && typ != frameTypeP {
+			return spans, fmt.Errorf("%w %q at offset %d", errUnknownFrameType, typ, off)
+		}
+		n := int(binary.BigEndian.Uint32(data[off+1:]))
+		if off+frameHeaderSize+n > len(data) {
+			return spans, fmt.Errorf("mpeg: frame payload at offset %d runs past end of stream", off)
+		}
+		spans = append(spans, FrameSpan{Off: off, Type: typ, PayloadLen: n})
+		off += frameHeaderSize + n
+	}
+	return spans, nil
 }
 
 // FrameInfo describes a decoded frame's position in the stream.

@@ -2,11 +2,21 @@ package mpeg
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"vdsms/internal/bitio"
 )
+
+// permanentReadErr reports reader failures that resync must never absorb:
+// context cancellation and deadline expiry are control-plane signals aimed
+// at the consumer, not stream damage, so converting them into a clean EOF
+// would silently swallow a shutdown request.
+func permanentReadErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // DCFrame is the output of partial decoding: the dequantised luma DC
 // coefficients of one I-frame arranged as a BW×BH grid (one value per 8×8
@@ -40,6 +50,24 @@ type PartialDecoder struct {
 	// buffering.
 	retainN  int
 	retained []retainedFrame
+
+	// Fault tolerance (optional): when resync is on, corrupt frames are
+	// skipped or substituted instead of erroring, and truncation becomes a
+	// clean end of stream. See SetResync.
+	resync bool
+	rstats ResyncStats
+
+	// Load shedding (optional): consulted before an I-frame's payload is
+	// entropy-decoded. See SetShedCheck.
+	shedCheck func(payloadBytes int) bool
+}
+
+// ResyncStats counts the damage a resync-enabled decoder has absorbed.
+type ResyncStats struct {
+	CorruptFrames int64 // frame slots skipped or substituted due to corruption
+	Resyncs       int64 // byte-scan recoveries after losing frame sync
+	SkippedBytes  int64 // bytes discarded while scanning for sync
+	Truncated     int64 // early stream ends converted to clean EOF
 }
 
 // retainedFrame is one buffered compressed frame.
@@ -71,6 +99,26 @@ func (d *PartialDecoder) SetRetention(n int) {
 		d.retained = nil
 	}
 }
+
+// SetResync toggles fault-tolerant decoding. With resync on, Next never
+// returns a corruption error: a frame with a damaged type byte but readable
+// length is skipped in place; a frame header whose length field is
+// implausible (or unparseable garbage) triggers a byte scan forward to the
+// next independently decodable frame; a truncated stream ends with a clean
+// io.EOF. Damaged key-frame slots are reported as placeholder DCFrames with
+// a nil DC grid so consumers keep their frame cadence and can substitute.
+// ResyncStats reports what was absorbed.
+func (d *PartialDecoder) SetResync(on bool) { d.resync = on }
+
+// ResyncStats returns the damage counters accumulated so far.
+func (d *PartialDecoder) ResyncStats() ResyncStats { return d.rstats }
+
+// SetShedCheck installs a load-shedding predicate consulted before each
+// I-frame's payload is entropy-decoded. When it returns true the payload is
+// consumed without decoding and Next returns a placeholder DCFrame with a
+// nil DC grid (the frame header fields are still populated). nil disables
+// shedding.
+func (d *PartialDecoder) SetShedCheck(fn func(payloadBytes int) bool) { d.shedCheck = fn }
 
 // retainFrame buffers one frame's payload under the retention policy.
 func (d *PartialDecoder) retainFrame(typ byte, data []byte) {
@@ -127,32 +175,159 @@ func (d *PartialDecoder) ClipFrom(from int) ([]byte, error) {
 // Next returns the DC grid of the next I-frame, skipping any intervening P
 // frames. io.EOF signals a clean end of stream. The returned DCFrame owns
 // its DC slice.
+//
+// With SetResync on, damaged input never surfaces as an error: key-frame
+// slots lost to corruption or shedding come back as placeholder DCFrames
+// with a nil DC grid, and truncation ends the stream with a clean io.EOF.
 func (d *PartialDecoder) Next() (*DCFrame, error) {
 	for {
 		typ, n, err := readFrameHeader(d.r, d.hdr)
 		if err != nil {
-			return nil, err // io.EOF passes through untouched
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			if !d.resync || permanentReadErr(err) {
+				return nil, err
+			}
+			switch {
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				// Torn frame header: the stream ends mid-header.
+				d.rstats.Truncated++
+				return nil, io.EOF
+			case errors.Is(err, errUnknownFrameType) && n <= d.hdr.maxPayload():
+				// Damaged type byte but a readable length: skip the frame
+				// in place — stream position and frame cadence survive.
+				if derr := d.discard(n); derr != nil {
+					if permanentReadErr(derr) {
+						return nil, derr
+					}
+					d.rstats.Truncated++
+					return nil, io.EOF
+				}
+				d.rstats.CorruptFrames++
+				if ph, ok := d.holeSlot(n); ok {
+					return ph, nil
+				}
+				continue
+			default:
+				// Implausible length field or unreadable header bytes:
+				// frame sync is lost — scan forward for the next
+				// independently decodable frame.
+				if serr := d.scanResync(); serr != nil {
+					if permanentReadErr(serr) {
+						return nil, serr
+					}
+					d.rstats.Truncated++
+					return nil, io.EOF
+				}
+				d.rstats.Resyncs++
+				d.rstats.CorruptFrames++
+				if ph, ok := d.holeSlot(0); ok {
+					return ph, nil
+				}
+				continue
+			}
 		}
 		if typ == frameTypeP {
 			if d.retainN > 0 {
 				if err := d.buffer(n); err != nil {
+					if d.resync {
+						d.rstats.Truncated++
+						return nil, io.EOF
+					}
 					return nil, fmt.Errorf("mpeg: buffering P frame %d: %w", d.count, err)
 				}
 				d.retainFrame(frameTypeP, d.payload)
 			} else if err := d.discard(n); err != nil {
+				if d.resync && !permanentReadErr(err) {
+					d.rstats.Truncated++
+					return nil, io.EOF
+				}
 				return nil, fmt.Errorf("mpeg: skipping P frame %d: %w", d.count, err)
 			}
 			d.count++
 			continue
 		}
-		dcf, err := d.decodeIDC(n)
-		if err != nil {
-			return nil, err
+		// I frame. Shedding is decided on the compressed size alone, before
+		// any payload byte is entropy-decoded.
+		if d.shedCheck != nil && d.shedCheck(n) {
+			if d.retainN > 0 {
+				if err := d.buffer(n); err != nil {
+					if d.resync {
+						d.rstats.Truncated++
+						return nil, io.EOF
+					}
+					return nil, fmt.Errorf("mpeg: buffering shed I frame %d: %w", d.count, err)
+				}
+				d.retainFrame(frameTypeI, d.payload)
+			} else if err := d.discard(n); err != nil {
+				if d.resync && !permanentReadErr(err) {
+					d.rstats.Truncated++
+					return nil, io.EOF
+				}
+				return nil, fmt.Errorf("mpeg: skipping shed I frame %d: %w", d.count, err)
+			}
+			ph := d.placeholder(n)
+			d.count++
+			return ph, nil
+		}
+		if err := d.buffer(n); err != nil {
+			if d.resync {
+				d.rstats.Truncated++
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("mpeg: reading I frame %d payload: %w", d.count, err)
+		}
+		d.BytesRead += int64(n)
+		dcf, perr := d.parseIDC(n)
+		if perr != nil {
+			if !d.resync {
+				return nil, perr
+			}
+			// The payload was fully read, so the stream position is intact;
+			// only this frame's content is damaged. Substitute a placeholder
+			// (the corrupt bytes are not retained — a clip built from them
+			// would not decode).
+			d.rstats.CorruptFrames++
+			ph := d.placeholder(n)
+			d.count++
+			return ph, nil
 		}
 		d.retainFrame(frameTypeI, d.payload)
 		d.count++
 		return dcf, nil
 	}
+}
+
+// placeholder builds the DCFrame stand-in (nil DC grid) for the I-frame
+// slot at the current position. The caller advances d.count.
+func (d *PartialDecoder) placeholder(payloadBytes int) *DCFrame {
+	return &DCFrame{
+		Info: FrameInfo{
+			Index: d.count,
+			Key:   true,
+			PTS:   float64(d.count) / d.hdr.FPS(),
+			Bytes: payloadBytes,
+		},
+		BW: d.hdr.W / 8,
+		BH: d.hdr.H / 8,
+	}
+}
+
+// holeSlot accounts one corrupt frame slot of unknown type. When the slot
+// falls on the stream's key-frame cadence it returns a placeholder so the
+// consumer keeps its frame cadence; P-slots vanish silently. The cadence
+// test is positional (index mod GOP) — exact for the GOP=1 streams the
+// monitor ingests, best-effort when an encoder inserted scene-cut I-frames
+// off the cadence.
+func (d *PartialDecoder) holeSlot(payloadBytes int) (*DCFrame, bool) {
+	ph := d.placeholder(payloadBytes)
+	idx := d.count
+	d.count++
+	if d.hdr.GOP != 1 && idx%d.hdr.GOP != 0 {
+		return nil, false
+	}
+	return ph, true
 }
 
 // buffer reads n payload bytes into the scratch buffer.
@@ -165,17 +340,11 @@ func (d *PartialDecoder) buffer(n int) error {
 	return err
 }
 
-// decodeIDC parses the luma portion of an I-frame payload, collecting DC
-// levels and dequantising them.
-func (d *PartialDecoder) decodeIDC(n int) (*DCFrame, error) {
-	if cap(d.payload) < n {
-		d.payload = make([]byte, n)
-	}
-	d.payload = d.payload[:n]
-	if _, err := io.ReadFull(d.r, d.payload); err != nil {
-		return nil, fmt.Errorf("mpeg: reading I frame %d payload: %w", d.count, err)
-	}
-	d.BytesRead += int64(n)
+// parseIDC parses the luma portion of the I-frame payload sitting in
+// d.payload, collecting DC levels and dequantising them. It touches no
+// stream bytes — the caller has already buffered the payload — so a parse
+// failure leaves the decoder positioned at the next frame header.
+func (d *PartialDecoder) parseIDC(n int) (*DCFrame, error) {
 	br := bitio.NewReader(d.payload)
 	d.coder.resetPredictors()
 	bw, bh := d.hdr.W/8, d.hdr.H/8

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vdsms"
+)
+
+// overloadServer builds a service whose overload controller is armed with
+// an impossible budget: every monitored window breaches, so a single
+// stream upload drives the shed level to the maximum.
+func overloadServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := vdsms.DefaultConfig()
+	cfg.K = 400
+	cfg.Delta = 0.6
+	cfg.WindowSec = 1
+	cfg.RealTimeBudget = time.Nanosecond
+	cfg.Shed = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func readyz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp := do(t, http.MethodGet, ts.URL+"/readyz", nil)
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyzDegradesUnderOverload walks the health surface through a full
+// overload cycle: ready while healthy, 503 while shedding at the maximum
+// level, ready again once the budget is met and the controller recovers.
+func TestReadyzDegradesUnderOverload(t *testing.T) {
+	s, ts := overloadServer(t)
+	do(t, http.MethodPut, ts.URL+"/queries/1", clip(t, 1, 10)).Body.Close()
+
+	if code, _ := readyz(t, ts); code != http.StatusOK {
+		t.Fatalf("readyz before load = %d, want 200", code)
+	}
+
+	// 60 one-second windows over a nanosecond budget: the controller
+	// escalates to the maximum level during the upload.
+	_, sum := streamAndParse(t, ts, "hot", clip(t, 50, 60))
+	if sum.Error != "" {
+		t.Fatalf("stream errored: %s", sum.Error)
+	}
+	if lvl := s.root.ShedLevel(); lvl < 3 {
+		t.Fatalf("shed level %d after overload stream, want the maximum", lvl)
+	}
+	code, body := readyz(t, ts)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz at max shed = %d, want 503", code)
+	}
+	if body["overloaded"] != true {
+		t.Fatalf("readyz body %v, want overloaded=true", body)
+	}
+
+	// Retune to a generous budget and stream again: the controller steps
+	// back down to level 0 and the service reports ready.
+	s.root.SetRealTimeBudget(time.Hour)
+	_, sum = streamAndParse(t, ts, "cool", clip(t, 51, 120))
+	if sum.Error != "" {
+		t.Fatalf("recovery stream errored: %s", sum.Error)
+	}
+	if lvl := s.root.ShedLevel(); lvl != 0 {
+		t.Fatalf("shed level %d after recovery stream, want 0", lvl)
+	}
+	if code, _ := readyz(t, ts); code != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d, want 200", code)
+	}
+}
+
+// TestStatsShedBlock checks /stats surfaces the overload loop state and the
+// per-stream counters folded in as streams complete.
+func TestStatsShedBlock(t *testing.T) {
+	_, ts := overloadServer(t)
+	do(t, http.MethodPut, ts.URL+"/queries/1", clip(t, 1, 10)).Body.Close()
+	_, sum := streamAndParse(t, ts, "hot", clip(t, 60, 60))
+	if sum.Error != "" {
+		t.Fatalf("stream errored: %s", sum.Error)
+	}
+
+	resp := do(t, http.MethodGet, ts.URL+"/stats", nil)
+	defer resp.Body.Close()
+	var stats struct {
+		Shed struct {
+			Armed       bool   `json:"armed"`
+			Level       int    `json:"level"`
+			MaxLevel    int    `json:"maxLevel"`
+			Budget      string `json:"budget"`
+			Windows     int64  `json:"windows"`
+			ShedWindows int64  `json:"shedWindows"`
+			Transitions int64  `json:"transitions"`
+			ExtractShed int64  `json:"extractShed"`
+		} `json:"shed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sh := stats.Shed
+	if !sh.Armed || sh.MaxLevel != 3 {
+		t.Fatalf("shed block %+v, want armed with maxLevel 3", sh)
+	}
+	if sh.Level < 1 || sh.Transitions == 0 || sh.ShedWindows == 0 {
+		t.Fatalf("shed block %+v, want an escalated loop with history", sh)
+	}
+	if sh.Windows == 0 {
+		t.Fatalf("shed block %+v, want observed windows", sh)
+	}
+	if sh.ExtractShed == 0 {
+		t.Fatalf("shed block %+v, want folded per-stream extract sheds", sh)
+	}
+}
+
+// TestStatsShedBlockUnarmed pins the quiet shape: without a real-time
+// budget the block is present but inert.
+func TestStatsShedBlockUnarmed(t *testing.T) {
+	_, ts := testServer(t)
+	resp := do(t, http.MethodGet, ts.URL+"/stats", nil)
+	defer resp.Body.Close()
+	var stats struct {
+		Shed struct {
+			Armed bool `json:"armed"`
+			Level int  `json:"level"`
+		} `json:"shed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed.Armed || stats.Shed.Level != 0 {
+		t.Fatalf("shed block %+v on an unarmed server, want inert", stats.Shed)
+	}
+}

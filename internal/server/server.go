@@ -10,7 +10,8 @@
 //	GET    /stats                              → JSON service counters
 //	GET    /metrics                            → Prometheus text exposition
 //	GET    /healthz                            → liveness (always 200)
-//	GET    /readyz                             → readiness (200 once restore-on-boot completed)
+//	GET    /readyz                             → readiness (200 once restore-on-boot completed;
+//	                                             503 while shedding at the maximum level)
 //	POST   /snapshot                           → checkpoint service state now
 //	GET    /debug/events                       → candidate-lifecycle event journal (filterable)
 //	GET    /debug/matches[/{id}]               → match provenance (explain) records
@@ -21,10 +22,18 @@
 // query set and Hash-Query index, so a subscription covers every stream,
 // and concurrent stream uploads monitor in parallel.
 //
-// /stats, /metrics, /healthz and /readyz are wait-free: they read atomics
-// only and never take the subscription mutex, so a checkpointing
-// subscription change (which fsyncs under that mutex) or a busy monitor
-// loop can never stall a scrape or a health probe.
+// /metrics, /healthz and /readyz are wait-free: they read atomics only and
+// never take the subscription mutex, so a checkpointing subscription change
+// (which fsyncs under that mutex) or a busy monitor loop can never stall a
+// scrape or a health probe. /stats is nearly so — it additionally takes the
+// overload controller's short internal lock (never the subscription mutex)
+// to snapshot the shed-control loop.
+//
+// When the detection configuration arms the overload controller
+// (Config.RealTimeBudget), every per-stream engine feeds the shared control
+// loop, /stats grows a "shed" block, and /readyz degrades to 503 while the
+// service sheds at the maximum level — the back-pressure signal that tells
+// a load balancer to route new streams elsewhere until the overload clears.
 //
 // With Config.CheckpointDir set, New resumes from an existing checkpoint
 // (restoring the subscription set), subscription changes are checkpointed
@@ -44,6 +53,7 @@ import (
 	"sync/atomic"
 
 	"vdsms"
+	"vdsms/internal/degrade"
 	"vdsms/internal/telemetry"
 )
 
@@ -77,6 +87,15 @@ type Server struct {
 	// evaluations performed across all served streams — the service-level
 	// view of parallel kernel balance.
 	shardCompared []atomic.Int64
+	// Per-stream overload counters, folded in as each stream completes
+	// (the per-stream detectors own the live values; the control loop
+	// itself is shared through s.root).
+	extractShed  atomic.Int64
+	decodeShed   atomic.Int64
+	resyncs      atomic.Int64
+	corruptFrame atomic.Int64
+	truncated    atomic.Int64
+	readRetries  atomic.Int64
 }
 
 // Options tunes the service surface beyond the detection configuration.
@@ -188,6 +207,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false})
+		return
+	}
+	// Shedding at the maximum level means the service is dropping as much
+	// work as it is allowed to and still missing its budget: report
+	// not-ready so orchestrators stop routing new streams here. Existing
+	// streams keep being served (degraded). Wait-free: ShedLevel is an
+	// atomic read.
+	if lvl := s.root.ShedLevel(); lvl >= degrade.MaxLevel {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"ready": false, "overloaded": true, "shedLevel": lvl,
+		})
 		return
 	}
 	writeJSON(w, map[string]any{"ready": true, "restored": s.restored})
@@ -330,6 +362,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	io.Copy(io.Discard, r.Body)
 	st := det.Stats()
 	s.frames.Add(int64(st.Frames))
+	ov := det.Overload()
+	s.extractShed.Add(ov.ExtractShed)
+	s.decodeShed.Add(ov.DecodeShed)
+	s.resyncs.Add(ov.Resyncs)
+	s.corruptFrame.Add(ov.CorruptFrames)
+	s.truncated.Add(ov.Truncated)
+	s.readRetries.Add(ov.ReadRetries)
 	for i, sh := range st.Shards {
 		if i < len(s.shardCompared) {
 			s.shardCompared[i].Add(sh.Compared)
@@ -352,8 +391,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats reports service-level counters as a point-in-time snapshot.
-// It reads atomics only — never the subscription mutex — so a concurrent
-// monitor loop, subscription change or checkpoint fsync cannot stall it
+// It never takes the subscription mutex — a concurrent monitor loop,
+// subscription change or checkpoint fsync cannot stall it — though the
+// shed block snapshots the overload controller under its own short lock
 // (each field is individually consistent; the set is a best-effort
 // snapshot, as with any lock-free multi-counter read).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -365,6 +405,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i := range s.shardCompared {
 		compared[i] = s.shardCompared[i].Load()
 	}
+	ov := s.root.Overload()
 	writeJSON(w, map[string]any{
 		"queries":        s.NumQueries(),
 		"streamsServed":  s.streams.Load(),
@@ -376,6 +417,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"checkpointing":  s.root.CheckpointingEnabled(),
 		"tracing":        s.root.Tracing(),
 		"slowWindow":     s.root.SlowWindowBudget().String(),
+		"shed": map[string]any{
+			"armed":       ov.Armed,
+			"level":       ov.Level,
+			"maxLevel":    ov.MaxLevel,
+			"budget":      ov.Budget.String(),
+			"ringP99":     ov.RingP99.String(),
+			"runP99":      ov.RunP99.String(),
+			"windows":     ov.Observed,
+			"shedWindows": ov.ShedWindows,
+			"transitions": ov.Transitions,
+			// Counters below fold in as each stream completes.
+			"extractShed":   s.extractShed.Load(),
+			"decodeShed":    s.decodeShed.Load(),
+			"resyncs":       s.resyncs.Load(),
+			"corruptFrames": s.corruptFrame.Load(),
+			"truncated":     s.truncated.Load(),
+			"readRetries":   s.readRetries.Load(),
+		},
 	})
 }
 

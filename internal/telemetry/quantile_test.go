@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQuantileFromCountsEmpty(t *testing.T) {
+	if q := QuantileFromCounts(DurationBuckets, make([]int64, len(DurationBuckets)+1), 0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestQuantileFromCountsSingleBucket(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	counts := []int64{0, 10, 0, 0} // all observations in (1, 2]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := QuantileFromCounts(bounds, counts, q)
+		if got < 1 || got > 2 {
+			t.Errorf("q=%g: %g outside the covering bucket (1, 2]", q, got)
+		}
+	}
+	// Interpolation is monotone within the bucket.
+	if lo, hi := QuantileFromCounts(bounds, counts, 0.1), QuantileFromCounts(bounds, counts, 0.9); lo >= hi {
+		t.Errorf("quantiles not monotone: q10=%g >= q90=%g", lo, hi)
+	}
+}
+
+func TestQuantileFromCountsSpread(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	counts := []int64{50, 30, 20, 0}
+	if q := QuantileFromCounts(bounds, counts, 0.5); q > 1 {
+		t.Errorf("median %g, want within first bucket (≤1)", q)
+	}
+	if q := QuantileFromCounts(bounds, counts, 0.99); q < 2 || q > 4 {
+		t.Errorf("p99 %g, want in (2, 4]", q)
+	}
+}
+
+func TestQuantileFromCountsInfBucket(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []int64{0, 0, 5} // everything beyond the top bound
+	if q := QuantileFromCounts(bounds, counts, 0.5); q != 2 {
+		t.Errorf("+Inf-bucket quantile = %g, want the top finite bound 2", q)
+	}
+}
+
+func TestQuantileFromCountsClampsQ(t *testing.T) {
+	bounds := []float64{1}
+	counts := []int64{4, 0}
+	if a, b := QuantileFromCounts(bounds, counts, -3), QuantileFromCounts(bounds, counts, 0); a != b {
+		t.Errorf("q<0 not clamped: %g vs %g", a, b)
+	}
+	if a, b := QuantileFromCounts(bounds, counts, 7), QuantileFromCounts(bounds, counts, 1); a != b {
+		t.Errorf("q>1 not clamped: %g vs %g", a, b)
+	}
+}
+
+func TestHistogramQuantileAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test_seconds", "test", DurationBuckets)
+	for i := 0; i < 99; i++ {
+		h.ObserveDuration(100 * time.Microsecond)
+	}
+	h.ObserveDuration(100 * time.Millisecond)
+
+	// 99 of 100 observations sit at 100µs; the p50 must be in that bucket
+	// and the p100 in the 100ms one.
+	if q := h.Quantile(0.5); q > 2.5e-4 {
+		t.Errorf("p50 = %g s, want ≤ 250µs", q)
+	}
+	if q := h.Quantile(1); q < 5e-2 || q > 1e-1 {
+		t.Errorf("p100 = %g s, want in (50ms, 100ms]", q)
+	}
+
+	bounds, counts, sum := h.Snapshot()
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n != 100 {
+		t.Errorf("snapshot counts sum to %d, want 100", n)
+	}
+	if len(counts) != len(bounds)+1 {
+		t.Errorf("snapshot layout: %d counts for %d bounds", len(counts), len(bounds))
+	}
+	want := 99*1e-4 + 1e-1
+	if math.Abs(sum-want) > 1e-9 {
+		t.Errorf("snapshot sum = %g, want %g", sum, want)
+	}
+
+	// Delta of two snapshots isolates the observations in between.
+	_, before, _ := h.Snapshot()
+	h.ObserveDuration(time.Second)
+	_, after, _ := h.Snapshot()
+	delta := make([]int64, len(after))
+	for i := range after {
+		delta[i] = after[i] - before[i]
+	}
+	if q := QuantileFromCounts(bounds, delta, 0.5); q < 0.5 || q > 1 {
+		t.Errorf("delta median = %g s, want in (0.5, 1]", q)
+	}
+}

@@ -145,6 +145,70 @@ func (h *Histogram) snapshot(buckets []int64) (sum float64) {
 	return h.Sum()
 }
 
+// Snapshot returns the histogram's bucket bounds (shared — do not modify),
+// a copy of the non-cumulative bucket counts (the final entry is the
+// implicit +Inf bucket) and the observation sum. Callers that diff two
+// snapshots get the distribution of the observations in between.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64, sum float64) {
+	counts = make([]int64, len(h.counts))
+	sum = h.snapshot(counts)
+	return h.bounds, counts, sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of every observation so
+// far; see QuantileFromCounts for the estimation rule.
+func (h *Histogram) Quantile(q float64) float64 {
+	_, counts, _ := h.Snapshot()
+	return QuantileFromCounts(h.bounds, counts, q)
+}
+
+// QuantileFromCounts estimates a quantile from non-cumulative bucket counts
+// over the given bounds (len(counts) == len(bounds)+1, +Inf last — the
+// Snapshot layout, or the delta of two snapshots). The estimate
+// interpolates linearly within the covering bucket, Prometheus
+// histogram_quantile-style; a quantile landing in the +Inf bucket returns
+// the largest finite bound (a deliberate under-estimate: the layout's top
+// bound caps what a bucketed histogram can claim). Returns 0 when there are
+// no observations.
+func QuantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank target: the smallest observation count covering q of the
+	// total. q=0 maps to rank 1, q=1 to rank total.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		return lo + (hi-lo)*(float64(rank)-float64(cum))/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // DurationBuckets is the default latency layout: a 1–2.5–5 progression
 // from 1µs to 2.5s (20 bounds + the implicit +Inf). It spans everything
 // the pipeline produces — sub-10µs probe steps, millisecond windows,

@@ -101,11 +101,15 @@ func (d *Detector) SlowWindowBudget() time.Duration { return d.slowVar.Get() }
 // frontEndTimer accumulates the decode and extract spans of the frames
 // filling one basic window and flushes them as one observation per stage
 // per window — the same granularity the matching-kernel stages report at.
+// The most recent flushed window is kept for takeLast, which the overload
+// controller's feed combines with the kernel's window duration (flush runs
+// at the window-filling frame, immediately before that window is pushed).
 type frontEndTimer struct {
-	active          bool
-	frames          int
-	perWindow       int
-	decode, extract time.Duration
+	active                bool
+	frames                int
+	perWindow             int
+	decode, extract       time.Duration
+	lastDecode, lastExtra time.Duration
 }
 
 func newFrontEndTimer(perWindow int) frontEndTimer {
@@ -128,7 +132,18 @@ func (f *frontEndTimer) flush() {
 	if !f.active || f.frames == 0 {
 		return
 	}
-	telStageDecode.ObserveDuration(f.decode)
-	telStageExtract.ObserveDuration(f.extract)
+	f.lastDecode, f.lastExtra = f.decode, f.extract
+	if telemetry.Enabled() {
+		telStageDecode.ObserveDuration(f.decode)
+		telStageExtract.ObserveDuration(f.extract)
+	}
 	f.decode, f.extract, f.frames = 0, 0, 0
+}
+
+// takeLast returns and clears the last flushed window's decode and extract
+// spans.
+func (f *frontEndTimer) takeLast() (decode, extract time.Duration) {
+	decode, extract = f.lastDecode, f.lastExtra
+	f.lastDecode, f.lastExtra = 0, 0
+	return decode, extract
 }

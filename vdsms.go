@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vdsms/internal/core"
+	"vdsms/internal/degrade"
 	"vdsms/internal/feature"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/partition"
@@ -124,6 +125,26 @@ type Config struct {
 	// StreamName labels this detector's stream in the trace journal and the
 	// /debug/events output. Empty auto-assigns "stream-N".
 	StreamName string
+	// RealTimeBudget arms the overload controller: the per-window ingest
+	// latency (decode + extract + matching kernel) whose p99 must stay
+	// under this bound. Sustained breaches raise a bounded shed level with
+	// hysteresis; sustained headroom lowers it. Zero leaves the controller
+	// unarmed (it can still be armed later via SetRealTimeBudget). The
+	// natural budget for live input is WindowSec of wall time. See
+	// DESIGN.md "Overload & graceful degradation".
+	RealTimeBudget time.Duration
+	// Shed lets the monitor loop act on the shed level: low-motion key
+	// frames substitute their previous cell id instead of extracting, and
+	// at higher levels low-delta frames skip entropy decode entirely.
+	// Without Shed the armed controller runs observe-only — the level and
+	// /readyz still report overload, but no work is dropped.
+	Shed bool
+	// Resync enables fault-tolerant ingest: corrupt frames are skipped or
+	// substituted (with a byte-scan resynchronisation when frame sync is
+	// lost), truncation ends the stream cleanly instead of erroring, and
+	// transient read errors are absorbed with retry and backoff. Damage
+	// counters surface in Overload() and the vcd_decode_resync_* metrics.
+	Resync bool
 }
 
 // DefaultConfig returns the paper's default parameters: K=800, δ=0.7,
@@ -182,6 +203,15 @@ type Detector struct {
 	// by every engine of this detector's lineage.
 	tracer  *trace.Recorder
 	slowVar *core.SlowBudget
+
+	// Adaptive-ingest state (see degrade.go): the overload controller is
+	// shared across the lineage like slowVar; ovl holds this stream's
+	// sampler, motion scorer and damage counters; fe points at the active
+	// Monitor call's front-end timer so the controller sees full ingest
+	// latency, not just the kernel's.
+	ctl *degrade.Controller
+	ovl *ovlState
+	fe  *frontEndTimer
 
 	// Checkpoint state (armed when Config.CheckpointDir is set).
 	wal      *snapshot.WAL
@@ -250,6 +280,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	eng.OnMatch = d.forward
 	d.armSlowWindow(eng)
 	d.armTrace(eng)
+	d.armOverload(eng)
 	return d, nil
 }
 
@@ -276,10 +307,11 @@ func (d *Detector) NewStreamNamed(name string) (*Detector, error) {
 	ncfg.CheckpointDir = ""
 	ncfg.StreamName = name
 	nd := &Detector{cfg: ncfg, pipeline: d.pipeline, engine: eng, winKeyF: d.winKeyF,
-		slowVar: d.slowVar}
+		slowVar: d.slowVar, ctl: d.ctl}
 	eng.OnMatch = nd.forward
 	nd.armSlowWindow(eng)
 	nd.armTrace(eng)
+	nd.armOverload(eng)
 	return nd, nil
 }
 
@@ -313,6 +345,7 @@ func LoadDetector(cfg Config, r io.Reader) (*Detector, error) {
 	eng.OnMatch = d.forward
 	d.armSlowWindow(eng)
 	d.armTrace(eng)
+	d.armOverload(eng)
 	return d, nil
 }
 
@@ -414,9 +447,41 @@ func (d *Detector) NumQueries() int { return d.engine.NumQueries() }
 // Monitor calls behave as one continuous stream. Matches are also delivered
 // incrementally via OnMatch.
 func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
+	var rr *degrade.RetryReader
+	if d.cfg.Resync {
+		// Transient (timeout/temporary) read errors are absorbed with
+		// backoff before the decoder ever sees them.
+		rr = degrade.NewRetryReader(stream)
+		stream = rr
+	}
 	pd, err := mpeg.NewPartialDecoder(stream)
 	if err != nil {
 		return nil, err
+	}
+	if d.cfg.Resync {
+		pd.SetResync(true)
+		defer func() {
+			d.foldResyncStats(pd.ResyncStats())
+			if n := rr.Retries(); n > 0 {
+				d.ovl.retries.Add(n)
+				telReadRetries.Add(n)
+			}
+		}()
+	}
+	if d.shedArmed() {
+		o, ctl := d.ovl, d.ctl
+		// Declare the basic-window cadence so decode shedding runs under the
+		// per-window budget (the phase accounts for a window left half-filled
+		// by the previous Monitor call).
+		o.sampler.SetWindow(d.winKeyF, d.engine.PendingFrames()%d.winKeyF)
+		pd.SetShedCheck(func(payloadBytes int) bool {
+			keep := o.sampler.KeepDecode(ctl.Level(), payloadBytes)
+			if !keep {
+				o.decodeShed.Add(1)
+				telShedDecode.Inc()
+			}
+			return !keep
+		})
 	}
 	hdr := pd.Header()
 	keyRate := hdr.FPS() / float64(hdr.GOP)
@@ -444,8 +509,15 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 	room := d.winKeyF - d.engine.PendingFrames()
 	batch := make([]uint64, 0, d.winKeyF)
 	// Front-end stage timing (decode, extract) aggregates per basic window
-	// to match the matching-kernel stages' granularity.
+	// to match the matching-kernel stages' granularity. When the overload
+	// controller is armed, the timer also runs so the controller sees full
+	// ingest latency (the engine only knows its own kernel time).
 	fe := newFrontEndTimer(d.winKeyF)
+	if d.ctl != nil {
+		fe.active = true
+	}
+	d.fe = &fe
+	defer func() { d.fe = nil }()
 	for {
 		var tDec time.Time
 		if fe.active {
@@ -462,7 +534,7 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 		if fe.active {
 			tExt = time.Now()
 		}
-		batch = append(batch, d.pipeline.pt.CellInto(d.pipeline.ex.Vector(dcf), scratch))
+		batch = append(batch, d.cellID(dcf, scratch))
 		if fe.active {
 			fe.add(tExt.Sub(tDec), time.Since(tExt))
 		}
