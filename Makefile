@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke overload-smoke clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke overload-smoke fleet-smoke clean
 
 all: build test
 
@@ -19,13 +19,13 @@ bench:
 # Machine-readable window-kernel benchmark results (same workload as the
 # BenchmarkWindow* suite, via internal/benchkit).
 bench-json:
-	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR5.json
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR9.json
 
 # Regression gate: rerun the suite and compare windows/sec and allocs/op
 # against the previous PR's committed baseline. Fails when any benchmark
 # regresses beyond the tolerance.
 bench-gate:
-	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR5.json -bench-compare BENCH_PR4.json -bench-tolerance 0.35
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR9.json -bench-compare BENCH_PR5.json -bench-tolerance 0.35
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,17 @@ overload-smoke:
 	OVERLOAD_REPORT_DIR=$(CURDIR)/overload-report $(GO) test -race -count=1 \
 		-run 'TestOverloadSmoke|TestOverload|TestReadyz|TestMonitorContext' \
 		./internal/experiments ./internal/server .
+
+# Fleet gate under the race detector: the stream-pool unit suites, the
+# query-plane copy-on-write suites, the HTTP fleet endpoints, and the
+# 64-stream pooled-vs-isolated equivalence checks (pooling must be
+# output-neutral, per-stream memory O(1) in queries). The measured level
+# lands in fleet-report/.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet
+	FLEET_REPORT_DIR=$(CURDIR)/fleet-report $(GO) test -race -count=1 \
+		-run 'TestFleetScaleSmoke|TestPlane|TestCloneProbeEquivalence|TestFleet' \
+		./internal/core ./internal/qindex ./internal/experiments ./internal/server .
 
 # Crash-recovery sweep under the race detector: snapshot/restore at every
 # window boundary and worker-count combination must reproduce the

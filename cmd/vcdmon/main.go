@@ -54,6 +54,17 @@ import (
 	"vdsms/internal/telemetry"
 )
 
+// The single-stream monitor publishes the same fleet-ready stream gauges
+// as vcdserve, so one dashboard covers a lone vcdmon and a full fleet
+// alike: vcd_streams_active is 1 while the monitor runs, and rejected
+// counts queries that were skipped as unloadable.
+var (
+	telStreamsActive = telemetry.Default.Gauge("vcd_streams_active",
+		"Streams currently being monitored.")
+	telStreamsRejected = telemetry.Default.Counter("vcd_streams_rejected_total",
+		"Stream or query inputs rejected (bad paths, undecodable clips).")
+)
+
 // serveMetrics exposes the process-wide telemetry registry at
 // addr/metrics in the background, so a long-running monitor can be
 // scraped while it works.
@@ -174,7 +185,7 @@ func main() {
 		fatal(err)
 	}
 
-	subscribeQueries(det, qs)
+	_, skippedQueries := subscribeQueries(det, qs)
 	if det.NumQueries() == 0 {
 		fatal(fmt.Errorf("no queries could be loaded; nothing to monitor"))
 	}
@@ -228,7 +239,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "archived %s (%d bytes)\n", name, len(clip))
 		}
 	}
-	if _, err := det.Monitor(stream); err != nil {
+	telStreamsActive.Inc()
+	_, err = det.Monitor(stream)
+	telStreamsActive.Dec()
+	if err != nil {
 		fatal(err)
 	}
 	if det.CheckpointingEnabled() {
@@ -242,8 +256,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "final checkpoint written to %s\n", *ckptDir)
 	}
 	st := det.Stats()
-	fmt.Fprintf(os.Stderr, "done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory\n",
+	summary := fmt.Sprintf("done: %d key frames, %d windows, %d matches, avg %.1f signatures in memory",
 		st.Frames, st.Windows, st.Matches, st.AvgSignatures())
+	if skippedQueries > 0 {
+		// The per-path warnings scrolled past long ago on a long run; the
+		// exit summary is where an operator looks first.
+		summary += fmt.Sprintf(", %d query path(s) skipped", skippedQueries)
+	}
+	fmt.Fprintln(os.Stderr, summary)
 	if *rtBudget > 0 || *resync {
 		o := det.Overload()
 		if o.Armed {
@@ -281,13 +301,14 @@ func main() {
 // det. A bad path or an undecodable clip is logged and skipped rather than
 // fatal: in a monitoring fleet one stale query file should not keep the
 // remaining queries from being watched. The caller decides whether zero
-// loaded queries is fatal. Returns the number of queries subscribed here.
-func subscribeQueries(det *vdsms.Detector, qs []string) int {
+// loaded queries is fatal. Returns the number of queries subscribed here
+// and the number of specs skipped as unloadable (bad path or undecodable;
+// already-restored duplicates are not failures and are not counted).
+func subscribeQueries(det *vdsms.Detector, qs []string) (loaded, skipped int) {
 	have := make(map[int]bool)
 	for _, id := range det.QueryIDs() {
 		have[id] = true
 	}
-	loaded := 0
 	for i, spec := range qs {
 		id := i + 1
 		path := spec
@@ -303,19 +324,23 @@ func subscribeQueries(det *vdsms.Detector, qs []string) int {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vcdmon: skipping query %d: %v\n", id, err)
+			skipped++
+			telStreamsRejected.Inc()
 			continue
 		}
 		err = det.AddQuery(id, f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vcdmon: skipping query %d (%s): %v\n", id, path, err)
+			skipped++
+			telStreamsRejected.Inc()
 			continue
 		}
 		have[id] = true
 		loaded++
 		fmt.Fprintf(os.Stderr, "subscribed query %d (%s)\n", id, path)
 	}
-	return loaded
+	return loaded, skipped
 }
 
 // explainLine renders one match's provenance record: the per-window

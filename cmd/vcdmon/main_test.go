@@ -42,7 +42,7 @@ func TestSubscribeQueriesSkipsBadPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded := subscribeQueries(det, []string{
+	loaded, skipped := subscribeQueries(det, []string{
 		good1,
 		filepath.Join(dir, "missing.mvc"),
 		garbage,
@@ -50,6 +50,9 @@ func TestSubscribeQueriesSkipsBadPaths(t *testing.T) {
 	})
 	if loaded != 2 {
 		t.Fatalf("loaded %d queries, want 2", loaded)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d specs, want 2 (missing file + garbage)", skipped)
 	}
 	if n := det.NumQueries(); n != 2 {
 		t.Fatalf("detector holds %d queries, want 2", n)
@@ -86,8 +89,12 @@ func TestSubscribeQueriesSkipsRestoredIDs(t *testing.T) {
 	}
 	f.Close()
 
-	if loaded := subscribeQueries(det, []string{"1=" + b}); loaded != 0 {
+	loaded, skipped := subscribeQueries(det, []string{"1=" + b})
+	if loaded != 0 {
 		t.Fatalf("loaded %d queries over an existing id, want 0", loaded)
+	}
+	if skipped != 0 {
+		t.Fatalf("restored-id duplicate counted as skipped (%d), want 0", skipped)
 	}
 	if n := det.NumQueries(); n != 1 {
 		t.Fatalf("detector holds %d queries, want 1", n)
@@ -103,8 +110,12 @@ func TestSubscribeQueriesAllBad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded := subscribeQueries(det, []string{"/nonexistent/x.mvc", "/nonexistent/y.mvc"}); loaded != 0 {
+	loaded, skipped := subscribeQueries(det, []string{"/nonexistent/x.mvc", "/nonexistent/y.mvc"})
+	if loaded != 0 {
 		t.Fatalf("loaded %d, want 0", loaded)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d, want 2", skipped)
 	}
 	if det.NumQueries() != 0 {
 		t.Fatalf("detector holds %d queries, want 0", det.NumQueries())

@@ -9,6 +9,10 @@
 //	DELETE /queries/{id}                      unsubscribe
 //	GET    /queries                           subscription count
 //	POST   /streams/{name}  body: MVC1 stream monitor; matches stream back as NDJSON
+//	POST   /streams         {"id": "..."}     attach a long-lived fleet stream
+//	POST   /streams/{id}/frames               push an MVC1 segment to an attached stream
+//	GET    /streams/{id}/stats                per-stream counters
+//	DELETE /streams/{id}                      detach an attached stream
 //	GET    /stats                             service counters (incl. per-shard work)
 //	GET    /metrics                           Prometheus text exposition
 //	GET    /healthz                           liveness probe
@@ -71,6 +75,9 @@ func main() {
 	shed := flag.Bool("shed", false, "allow the overload controller to actually shed work (without it the budget is observe-only)")
 	resync := flag.Bool("resync", false, "tolerate corrupt or truncated uploaded streams: resynchronise and keep monitoring instead of failing the POST")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	fleetWorkers := flag.Int("fleet-workers", 0, "workers for the attached-stream fleet pool (0 = GOMAXPROCS)")
+	fleetMaxStreams := flag.Int("fleet-max-streams", 0, "admission limit for attached fleet streams (0 = unlimited)")
+	fleetQueue := flag.Int("fleet-queue-windows", 0, "per-stream fleet queue budget in basic windows (0 = default 8)")
 	traceEvents := flag.Int("trace-events", 0, "arm decision-provenance tracing with an event journal of this capacity (0 = off)")
 	auditFraction := flag.Float64("audit-fraction", 0, "exact-audit this fraction of report/prune decisions against Theorem 1's bound (implies tracing; 0 = off)")
 	traceLog := flag.Bool("trace-log", false, "emit journaled lifecycle events as structured JSON logs on stderr (requires tracing)")
@@ -108,7 +115,14 @@ func main() {
 		defer stopLog()
 	}
 
-	srv, err := server.NewWithOptions(cfg, server.Options{EnablePprof: *pprof})
+	srv, err := server.NewWithOptions(cfg, server.Options{
+		EnablePprof: *pprof,
+		Fleet: vdsms.FleetConfig{
+			Workers:      *fleetWorkers,
+			MaxStreams:   *fleetMaxStreams,
+			QueueWindows: *fleetQueue,
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcdserve:", err)
 		os.Exit(1)

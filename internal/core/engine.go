@@ -41,6 +41,10 @@ type Engine struct {
 	// Stream state.
 	frame  int      // key frames consumed
 	curIDs []uint64 // ids of the window being filled
+	// planeVersion is the query-plane version the most recent window was
+	// processed against — the whole window runs on one captured plane, so
+	// this is the observable face of the copy-on-write churn contract.
+	planeVersion uint64
 
 	// seq is the Sequential order candidate list C_L — the spine. Scalar
 	// fields and the combined sketch are maintained serially; per-query
@@ -202,6 +206,12 @@ func (e *Engine) PreFilterStats() PreFilterStats {
 // NumQueries returns the number of subscribed queries.
 func (e *Engine) NumQueries() int { return e.qs.Len() }
 
+// PlaneVersion returns the query-plane version the last processed window
+// ran against (0 before any window). Because a window captures its plane
+// once, this lags QuerySet.Version while churn overlaps an in-flight
+// window and catches up at the next window boundary.
+func (e *Engine) PlaneVersion() uint64 { return e.planeVersion }
+
 // AddQuery subscribes a continuous query given the cell ids of its key
 // frames. With a shared QuerySet this affects every sharing engine.
 func (e *Engine) AddQuery(id int, cellIDs []uint64) error {
@@ -302,7 +312,13 @@ func (e *Engine) processWindow() {
 		t1 = time.Now()
 		sketchD = t1.Sub(t0)
 	}
+	// The entire window is processed against one immutable plane captured
+	// here with a single atomic load: probes, candidate evaluation and the
+	// pre-filter mask all see the same subscription version even while a
+	// concurrent AddQueries/Remove publishes a successor. In-flight windows
+	// therefore stay on the old version; churn lands at the next window.
 	view := e.qs.view()
+	e.planeVersion = view.version
 	win := &windowResult{
 		sketch:     wsk,
 		startFrame: e.curWindowStartFrame(),
@@ -316,7 +332,7 @@ func (e *Engine) processWindow() {
 	// it here avoids K×nshards redundant filter probes and keeps the mask —
 	// and hence the probe output — identical for every worker count.
 	if e.cfg.PreFilter && len(view.queries) > 0 {
-		mask, probed, rejected := e.qs.windowRowMask(wsk)
+		mask, probed, rejected := view.windowRowMask(wsk)
 		win.rowMask = mask
 		e.pfRowProbes += int64(probed)
 		e.pfRowRejects += int64(rejected)
@@ -396,9 +412,9 @@ func (e *Engine) processWindow() {
 
 // probeShard determines shard s's related queries for the window: bit
 // signatures under the Bit method, sorted query ids under Sketch.
-func (e *Engine) probeShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryView) {
+func (e *Engine) probeShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryPlane) {
 	if e.cfg.Method == Bit {
-		po, scanned := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
+		po, scanned := view.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
 		s.d.sketchCompares += int64(scanned)
 		s.d.probeComparisons += int64(po.Comparisons)
 		s.d.probed += int64(len(po.Related))
@@ -431,9 +447,9 @@ func (e *Engine) pruneDelta() float64 {
 // relatedForSketchShard returns the query ids of shard s the Sketch method
 // must compare with this window: the shard's slice of the probe's R_L with
 // the index, or every owned query without.
-func (e *Engine) relatedForSketchShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryView) []int {
-	if e.qs.usingIndex() {
-		po, _ := e.qs.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
+func (e *Engine) relatedForSketchShard(s *engineShard, win *windowResult, wsk minhash.Sketch, view *queryPlane) []int {
+	if view.usingIndex() {
+		po, _ := view.probeShard(wsk, e.pruneDelta(), s.id, e.nshards, win.rowMask)
 		s.d.probeComparisons += int64(po.Comparisons)
 		s.d.probed += int64(len(po.Related))
 		s.d.pruned += int64(len(po.Pruned))
@@ -459,7 +475,7 @@ func (e *Engine) relatedForSketchShard(s *engineShard, win *windowResult, wsk mi
 
 // globalMaxWindows returns the largest ⌈λL/w⌉ over the snapshot's queries
 // (1 when no queries are subscribed, so the structures stay bounded).
-func (e *Engine) globalMaxWindows(view *queryView) int {
+func (e *Engine) globalMaxWindows(view *queryPlane) int {
 	if view.maxFrames == 0 {
 		return 1
 	}

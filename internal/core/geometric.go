@@ -43,7 +43,7 @@ type geoKey struct {
 // partitions across shards; the Sketch method's per-bucket sketch combines
 // are replicated per shard and accounted by shard 0 alone so the totals
 // stay worker-count invariant.
-func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryView) {
+func (e *Engine) shardGeometric(s *engineShard, win *windowResult, view *queryPlane) {
 	if s.geoReported == nil {
 		s.geoReported = make(map[geoKey]bool)
 	}
@@ -172,7 +172,7 @@ func (e *Engine) cloneGeo(b *geoBucket) *geoBucket {
 // their consecutive candidate sequences; true-copy windows always stay
 // related, so this costs no detectable copies), and no sketch operations
 // are performed at all — the asymmetry behind the Fig. 6 CPU split.
-func (e *Engine) mergeGeo(s *engineShard, win *windowResult, old, new_ *geoBucket, view *queryView) *geoBucket {
+func (e *Engine) mergeGeo(s *engineShard, win *windowResult, old, new_ *geoBucket, view *queryPlane) *geoBucket {
 	out := &geoBucket{
 		startFrame: old.startFrame,
 		endFrame:   new_.endFrame,
@@ -234,7 +234,7 @@ func (e *Engine) mergeGeo(s *engineShard, win *windowResult, old, new_ *geoBucke
 
 // testGeo evaluates one (possibly transient) candidate against the shard's
 // tracked queries, buffering threshold crossings once per (query, start).
-func (e *Engine) testGeo(s *engineShard, win *windowResult, b *geoBucket, view *queryView) {
+func (e *Engine) testGeo(s *engineShard, win *windowResult, b *geoBucket, view *queryPlane) {
 	if e.cfg.Method == Bit {
 		for _, qid := range sortedSigKeys(b.sigs) {
 			sig := b.sigs[qid]

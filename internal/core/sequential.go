@@ -58,7 +58,7 @@ func (e *Engine) seqPrePass(win *windowResult) {
 // shardSequential runs one shard's slice of the Sequential kernel: the
 // window-alone test for the shard's related queries, then the extension of
 // the shard's slot in every candidate.
-func (e *Engine) shardSequential(s *engineShard, win *windowResult, view *queryView) {
+func (e *Engine) shardSequential(s *engineShard, win *windowResult, view *queryPlane) {
 	s.newReported = make(map[int]bool)
 	if e.cfg.Method == Bit {
 		e.seqShardBit(s, win, view)
@@ -68,7 +68,7 @@ func (e *Engine) shardSequential(s *engineShard, win *windowResult, view *queryV
 }
 
 // seqShardBit is the Bit-method shard phase.
-func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryView) {
+func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryPlane) {
 	rel := win.relatedSh[s.id]
 
 	// (1) Test the basic window itself against the shard's related queries.
@@ -150,7 +150,7 @@ func (e *Engine) seqShardBit(s *engineShard, win *windowResult, view *queryView)
 
 // seqShardSketch is the Sketch-method shard phase. The candidate sketches
 // were already combined by the serial pre-pass; shards only compare.
-func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryView) {
+func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryPlane) {
 	// (1) Test the basic window against the shard's related queries.
 	for _, qid := range win.qidsSh[s.id] {
 		q := view.lookup(qid)
@@ -223,7 +223,7 @@ func (e *Engine) seqShardSketch(s *engineShard, win *windowResult, view *queryVi
 // tracks are dropped, the fresh size-1 candidate is appended from the
 // window's per-shard probe results, and the memory accounting is taken
 // over the final list (spine work, counted once).
-func (e *Engine) seqPostPass(win *windowResult, view *queryView) {
+func (e *Engine) seqPostPass(win *windowResult, view *queryPlane) {
 	kept := e.seq[:0]
 	for _, c := range e.seq {
 		alive := false

@@ -49,10 +49,9 @@ func (c Config) Fingerprint(m snapshot.Meta) uint64 {
 // order restore re-inserts them so the rebuilt Hash-Query index passes
 // through the same construction sequence.
 func (qs *QuerySet) exportQueries() []snapshot.Query {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	out := make([]snapshot.Query, 0, len(qs.scan.Queries))
-	for _, iq := range qs.scan.Queries {
+	v := qs.view()
+	out := make([]snapshot.Query, 0, len(v.scan.Queries))
+	for _, iq := range v.scan.Queries {
 		out = append(out, snapshot.Query{
 			ID:     iq.ID,
 			Frames: iq.Length,
@@ -73,10 +72,15 @@ func (qs *QuerySet) addSketched(id, frames int, sk minhash.Sketch) error {
 	}
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
-	if _, dup := qs.queries[id]; dup {
+	if _, dup := qs.view().queries[id]; dup {
 		return fmt.Errorf("core: restored query id %d duplicated", id)
 	}
-	return qs.insert(&queryInfo{id: id, frames: frames, sketch: sk})
+	np := qs.begin()
+	if err := qs.insert(np, &queryInfo{id: id, frames: frames, sketch: sk}); err != nil {
+		return err
+	}
+	qs.publish(np)
+	return nil
 }
 
 // ExportState captures the engine's complete matching state in canonical
@@ -150,11 +154,32 @@ func (e *Engine) ExportState() *snapshot.EngineState {
 // (same fingerprint fields; Workers is free to differ). The restored
 // engine's query partitions are redistributed for cfg.Workers.
 func RestoreEngine(cfg Config, st *snapshot.EngineState) (*Engine, error) {
+	qs, err := NewQuerySet(cfg.K, cfg.Seed, cfg.UseIndex)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range st.Queries {
+		if err := qs.addSketched(q.ID, q.Frames, minhash.Sketch(append([]uint64(nil), q.Sketch...))); err != nil {
+			return nil, err
+		}
+	}
+	return RestoreEngineWith(cfg, st, qs)
+}
+
+// RestoreEngineWith is RestoreEngine against an existing shared QuerySet:
+// the state's own Queries section is ignored (it may be empty — fleet
+// checkpoints strip it, storing the shared plane once instead of once per
+// stream) and the engine joins qs like NewEngineWith would. cfg.K must
+// match the set's K.
+func RestoreEngineWith(cfg Config, st *snapshot.EngineState, qs *QuerySet) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := snapshot.CompatibilityError(snapshot.Meta{}, snapshot.Meta{}, st.Config, cfg.snapshotConfig()); err != nil {
 		return nil, err
+	}
+	if cfg.K != qs.K() {
+		return nil, fmt.Errorf("core: engine K=%d but query set K=%d", cfg.K, qs.K())
 	}
 	if len(st.CurIDs) >= cfg.WindowFrames {
 		return nil, fmt.Errorf("core: restored window holds %d frames but w=%d (a full window is never checkpointed unprocessed)",
@@ -165,17 +190,8 @@ func RestoreEngine(cfg Config, st *snapshot.EngineState) (*Engine, error) {
 			st.Frame, len(st.CurIDs))
 	}
 
-	qs, err := NewQuerySet(cfg.K, cfg.Seed, cfg.UseIndex)
-	if err != nil {
-		return nil, err
-	}
-	for _, q := range st.Queries {
-		if err := qs.addSketched(q.ID, q.Frames, minhash.Sketch(append([]uint64(nil), q.Sketch...))); err != nil {
-			return nil, err
-		}
-	}
-
 	e := newEngine(cfg, qs)
+	var err error
 	e.frame = st.Frame
 	e.curIDs = append([]uint64(nil), st.CurIDs...)
 	e.stats = restoreStats(st.Stats, e.nshards)

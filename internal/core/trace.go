@@ -121,7 +121,7 @@ func (e *Engine) retainAuditWindow(win *windowResult) {
 // [start, end) against query qid from raw cell ids. ok is false when the
 // raw sets are unavailable — the query predates id retention (checkpoint
 // restore) or the candidate spans windows the history no longer holds.
-func (e *Engine) exactJaccard(start, end, qid int, view *queryView) (float64, bool) {
+func (e *Engine) exactJaccard(start, end, qid int, view *queryPlane) (float64, bool) {
 	q := view.lookup(qid)
 	if q == nil || q.cellIDs == nil {
 		return 0, false
@@ -144,7 +144,7 @@ func (e *Engine) exactJaccard(start, end, qid int, view *queryView) (float64, bo
 // audits the sampled ones exactly, publishes the estimator-error metrics
 // and parks report audits for attachment to their match records. Runs on
 // the serial spine between the event fold and match emission.
-func (e *Engine) auditWindow(evs []trace.Event, view *queryView) {
+func (e *Engine) auditWindow(evs []trace.Event, view *queryPlane) {
 	for k := range e.auditRes {
 		delete(e.auditRes, k)
 	}

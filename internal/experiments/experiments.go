@@ -321,6 +321,7 @@ var Registry = []Experiment{
 	{"recovery", "beyond the paper: checkpoint/restore + WAL replay", Recovery},
 	{"queryscale", "beyond the paper: pre-filter tier at 10³–10⁶ queries", QueryScale},
 	{"overload", "beyond the paper: load shedding at 2× sustainable ingest", Overload},
+	{"fleet", "beyond the paper: multi-tenant pool, 64–1024 streams on one query plane", FleetScale},
 }
 
 // Find returns the experiment with the given name.

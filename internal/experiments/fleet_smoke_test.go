@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetScaleSmoke is the reduced-scale CI gate for the multi-tenant
+// pool: 64 synthetic streams multiplexed over the shared query plane (the
+// full sweep's smallest level). It pins the fleet's two contracts —
+// sampled streams byte-identical to isolated single-stream engines, and
+// per-stream heap growth that stays a small fraction of the shared plane
+// (query memory O(queries), not O(queries × streams)) — and, when
+// FLEET_REPORT_DIR is set (the CI fleet-smoke job), writes the measured
+// row as a JSON artifact.
+func TestFleetScaleSmoke(t *testing.T) {
+	row, err := FleetRun(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fleet n=64: %+v", row)
+	if !row.Identical {
+		t.Error("sampled fleet streams diverge from isolated engines; pooling must be output-neutral")
+	}
+	if row.Matches == 0 {
+		t.Error("workload produced no matches; the equivalence check is vacuous")
+	}
+	if row.PlaneBytes <= 0 {
+		t.Error("shared plane reports no memory; accounting broken")
+	}
+	// The O(queries) claim, in measurable form: what each extra stream
+	// costs must be far below what the 200-query plane costs once. The
+	// bound is loose (windows, candidate lists and queues are real) but
+	// fails immediately if per-stream state ever re-acquires a plane copy.
+	if row.BytesPerStream > float64(row.PlaneBytes)/4 {
+		t.Errorf("per-stream heap %.0fB exceeds plane/4 (%dB) — per-stream state is no longer O(1) in queries",
+			row.BytesPerStream, row.PlaneBytes/4)
+	}
+
+	if dir := os.Getenv("FLEET_REPORT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, "fleet-smoke.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]FleetRow{row}); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Fleet checkpoint/restore. A fleet checkpoint stores the shared query
+// plane ONCE (the VQS1 blob core.QuerySet.Save produces) followed by one
+// per-stream delta: a standard engine checkpoint with its Queries section
+// stripped. That keeps the durable form aligned with the runtime memory
+// model — plane O(queries), streams O(streams) — where embedding the query
+// list in every stream's blob would serialise it a thousand times.
+//
+// Container layout (big-endian):
+//
+//	magic "VFLT" | format version (u16)
+//	u32 plane-blob length | plane blob (core.QuerySet.Save)
+//	u32 stream count
+//	per stream, id-sorted: u16 id length | id bytes |
+//	                       u32 blob length | snapshot checkpoint blob
+//
+// Each stream blob is a full internal/snapshot checkpoint, so it inherits
+// that format's fingerprint and trailer integrity checks; the container
+// adds only framing. Streams are written id-sorted and every nested codec
+// is canonical, so identical fleet state serialises to identical bytes.
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vdsms/internal/core"
+	"vdsms/internal/snapshot"
+)
+
+// FleetMagic identifies a fleet checkpoint container.
+var FleetMagic = [4]byte{'V', 'F', 'L', 'T'}
+
+// FleetFormatVersion is the current container version.
+const FleetFormatVersion = 1
+
+// Checkpoint writes the fleet's full state. The pool must be quiescent:
+// Checkpoint drains every stream first, but producers have to pause
+// pushing (and query churn must pause) for the drain to terminate and the
+// plane/stream sections to be mutually consistent. meta carries the
+// pipeline-level parameters stamped into each stream blob (zero for bare
+// cell-id fleets).
+func (p *Pool) Checkpoint(w io.Writer, meta snapshot.Meta) error {
+	p.Drain()
+
+	var plane bytes.Buffer
+	if err := p.qs.Save(&plane); err != nil {
+		return fmt.Errorf("fleet: save query plane: %w", err)
+	}
+	if _, err := w.Write(FleetMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(FleetFormatVersion)); err != nil {
+		return err
+	}
+	if err := writeBlob(w, plane.Bytes()); err != nil {
+		return err
+	}
+
+	ids := p.StreamIDs()
+	if err := binary.Write(w, binary.BigEndian, uint32(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		s := p.Stream(id)
+		if s == nil { // detached between listing and export
+			return fmt.Errorf("fleet: stream %q detached during checkpoint", id)
+		}
+		s.emu.Lock()
+		st := s.eng.ExportState()
+		s.emu.Unlock()
+		// The shared plane blob is the single source of query truth.
+		st.Queries = nil
+
+		var blob bytes.Buffer
+		if err := snapshot.Write(&blob, &snapshot.Checkpoint{Meta: meta, Engine: *st}); err != nil {
+			return fmt.Errorf("fleet: stream %q: %w", id, err)
+		}
+		if len(id) > 0xffff {
+			return fmt.Errorf("fleet: stream id %q too long", id)
+		}
+		if err := binary.Write(w, binary.BigEndian, uint16(len(id))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, id); err != nil {
+			return err
+		}
+		if err := writeBlob(w, blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds a pool from a fleet checkpoint: the shared plane is
+// loaded once and every stream joins it via core.RestoreEngineWith.
+// cfg.Engine must be detection-compatible with the checkpointed
+// configuration (each stream blob's fingerprint is checked) and meta must
+// match the value the checkpoint was taken with.
+func Restore(cfg Config, r io.Reader, meta snapshot.Meta) (*Pool, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("fleet: read magic: %w", err)
+	}
+	if magic != FleetMagic {
+		return nil, fmt.Errorf("fleet: bad magic %q", magic[:])
+	}
+	var version uint16
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != FleetFormatVersion {
+		return nil, fmt.Errorf("fleet: unsupported format version %d", version)
+	}
+
+	plane, err := readBlob(r)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read query plane: %w", err)
+	}
+	qs, err := core.LoadQuerySet(bytes.NewReader(plane))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: load query plane: %w", err)
+	}
+	p, err := NewWith(cfg, qs)
+	if err != nil {
+		return nil, err
+	}
+
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		p.Close()
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		var idLen uint16
+		if err := binary.Read(r, binary.BigEndian, &idLen); err != nil {
+			p.Close()
+			return nil, err
+		}
+		idBuf := make([]byte, idLen)
+		if _, err := io.ReadFull(r, idBuf); err != nil {
+			p.Close()
+			return nil, err
+		}
+		id := string(idBuf)
+		blob, err := readBlob(r)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("fleet: stream %q: %w", id, err)
+		}
+		ck, err := snapshot.Read(bytes.NewReader(blob))
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("fleet: stream %q: %w", id, err)
+		}
+		// Config compatibility (fingerprint fields) is checked inside
+		// RestoreEngineWith; the container only needs the Meta comparison.
+		if cerr := snapshot.CompatibilityError(ck.Meta, meta, ck.Engine.Config, ck.Engine.Config); cerr != nil {
+			p.Close()
+			return nil, fmt.Errorf("fleet: stream %q: %w", id, cerr)
+		}
+		eng, err := core.RestoreEngineWith(cfg.Engine, &ck.Engine, qs)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("fleet: stream %q: %w", id, err)
+		}
+		if _, err := p.attach(id, eng); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("fleet: stream %q: %w", id, err)
+		}
+	}
+	return p, nil
+}
+
+func writeBlob(w io.Writer, b []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBlob(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

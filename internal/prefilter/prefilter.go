@@ -131,6 +131,19 @@ func (f *Filter) AddSketch(sk []uint64) {
 	}
 }
 
+// Clone returns a deep copy of the filter. Writers practising
+// copy-on-write clone, mutate the copy, and publish it while readers keep
+// testing the original; cost is one O(bytes) memcpy of the bit array.
+func (f *Filter) Clone() *Filter {
+	return &Filter{
+		blocks:    append([]uint64(nil), f.blocks...),
+		blockMask: f.blockMask,
+		capKeys:   f.capKeys,
+		live:      f.live,
+		dead:      f.dead,
+	}
+}
+
 // MayContain reports whether the key (row, v) may have been added: false
 // means definitely absent, true means present or a false positive.
 func (f *Filter) MayContain(row int, v uint64) bool {

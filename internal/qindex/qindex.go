@@ -126,6 +126,41 @@ func Build(queries []Query) (*Index, error) {
 	return idx, nil
 }
 
+// Clone returns a deep copy of the index. Cost O(K·m) straight memory
+// copies — the same order as a single incremental Add — which makes
+// copy-on-write churn (clone, then mutate the private copy while readers
+// keep probing the original) as cheap as in-place mutation was.
+func (x *Index) Clone() *Index {
+	c := &Index{
+		k:    x.k,
+		rows: make([][]entry, len(x.rows)),
+		meta: append([]colMeta(nil), x.meta...),
+		pos:  make(map[int]int, len(x.pos)),
+	}
+	for i, row := range x.rows {
+		c.rows[i] = append([]entry(nil), row...)
+	}
+	for id, col := range x.pos {
+		c.pos[id] = col
+	}
+	return c
+}
+
+// Bytes estimates the index's memory footprint: the <value, up, down, qid>
+// triples of every row plus the row-0 metadata and the position cache. The
+// per-stream memory experiments treat this as the shared query plane's
+// dominant term.
+func (x *Index) Bytes() int {
+	const entryBytes = 8 + 4 + 4 + 8 // value, up, down, qid
+	b := 0
+	for _, row := range x.rows {
+		b += len(row) * entryBytes
+	}
+	b += len(x.meta) * 16
+	b += len(x.pos) * 16
+	return b
+}
+
 // K returns the number of hash functions (rows).
 func (x *Index) K() int { return x.k }
 

@@ -7,6 +7,12 @@
 //	DELETE /queries/{id}                       → unsubscribe
 //	GET    /queries                            → JSON list of ids
 //	POST   /streams/{name} body: MVC1 stream   → NDJSON matches, streamed
+//	POST   /streams        {"id": "..."}       → attach a long-lived fleet stream
+//	POST   /streams/{id}/frames                → push an MVC1 segment (429 on backpressure)
+//	GET    /streams/{id}/stats                 → per-stream counters
+//	GET    /streams/{id}/matches               → matches reported so far
+//	DELETE /streams/{id}                       → detach (drained unless ?drain=false)
+//	GET    /streams                            → attached stream ids
 //	GET    /stats                              → JSON service counters
 //	GET    /metrics                            → Prometheus text exposition
 //	GET    /healthz                            → liveness (always 200)
@@ -64,6 +70,8 @@ var (
 		"Streams currently being monitored.")
 	telStreamsServed = telemetry.Default.Counter("vcd_streams_served_total",
 		"Stream uploads accepted over the service lifetime.")
+	telStreamsRejected = telemetry.Default.Counter("vcd_streams_rejected_total",
+		"Stream attach or ingest requests rejected (admission control, duplicate ids, backpressure).")
 	telQueries = telemetry.Default.Gauge("vcd_queries",
 		"Currently subscribed continuous queries.")
 )
@@ -72,6 +80,7 @@ var (
 // Handler.
 type Server struct {
 	root     *vdsms.Detector // owns the shared query set; never monitors
+	fleet    *vdsms.Fleet    // attached-stream pool; shares root's query set
 	workers  int             // per-stream matching workers (0 = inline)
 	restored bool            // whether New resumed from a checkpoint
 	pprof    bool            // mount /debug/pprof/*
@@ -104,6 +113,10 @@ type Options struct {
 	// Off by default: profiling endpoints expose internals and cost CPU,
 	// so production deployments opt in explicitly.
 	EnablePprof bool
+	// Fleet tunes the attached-stream pool behind POST /streams (worker
+	// count, admission limit, per-stream queue budget). The zero value is
+	// serviceable: GOMAXPROCS workers, unlimited streams, 8-window queues.
+	Fleet vdsms.FleetConfig
 }
 
 // New builds a server with the given detection configuration. When
@@ -129,8 +142,12 @@ func NewWithOptions(cfg vdsms.Config, opts Options) (*Server, error) {
 	if nsh < 1 {
 		nsh = 1
 	}
+	fl, err := det.NewFleet(opts.Fleet)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		root: det, workers: cfg.Workers, restored: restored, pprof: opts.EnablePprof,
+		root: det, fleet: fl, workers: cfg.Workers, restored: restored, pprof: opts.EnablePprof,
 		shardCompared: make([]atomic.Int64, nsh),
 	}
 	s.setQueries(det.NumQueries())
@@ -167,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/queries/", s.handleQuery)
+	mux.HandleFunc("/streams", s.handleFleet)
 	mux.HandleFunc("/streams/", s.handleStream)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
@@ -309,14 +327,24 @@ type streamSummary struct {
 	Error         string  `json:"error,omitempty"`
 }
 
-// handleStream monitors one uploaded stream, emitting matches as NDJSON
-// while the body is consumed.
+// handleStream routes everything under /streams/: the legacy one-shot
+// upload (POST /streams/{name} with an MVC1 body → NDJSON matches) and the
+// per-stream fleet surface (frames, stats, matches, DELETE) — see fleet.go.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/streams/")
+	if id, sub, ok := strings.Cut(rest, "/"); ok {
+		s.handleFleetStream(w, r, id, sub)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		s.handleFleetDetach(w, r, rest)
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/streams/")
+	name := rest
 	if name == "" {
 		http.Error(w, "stream name required", http.StatusBadRequest)
 		return
@@ -417,6 +445,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"checkpointing":  s.root.CheckpointingEnabled(),
 		"tracing":        s.root.Tracing(),
 		"slowWindow":     s.root.SlowWindowBudget().String(),
+		"fleet": map[string]any{
+			"streams":    s.fleet.Len(),
+			"planeBytes": s.fleet.PlaneBytes(),
+		},
 		"shed": map[string]any{
 			"armed":       ov.Armed,
 			"level":       ov.Level,

@@ -371,16 +371,7 @@ func (d *Detector) forward(m core.Match) {
 }
 
 func (d *Detector) convert(m core.Match) Match {
-	toDur := func(keyFrame int) time.Duration {
-		return time.Duration(float64(keyFrame) / d.cfg.KeyFPS * float64(time.Second))
-	}
-	return Match{
-		QueryID:    m.QueryID,
-		Start:      toDur(m.StartFrame),
-		End:        toDur(m.EndFrame),
-		DetectedAt: toDur(m.DetectedAt),
-		Similarity: m.Similarity,
-	}
+	return convertMatch(m, d.cfg.KeyFPS)
 }
 
 // AddQuery subscribes a continuous query from an encoded MVC1 clip. The
