@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke overload-smoke fleet-smoke clean
+.PHONY: all build test race bench bench-json bench-gate vet vuln fmt experiments fuzz snapshot-fuzz robustness-smoke queryscale-smoke overload-smoke fleet-smoke perf-smoke clean
 
 all: build test
 
@@ -17,15 +17,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
 
 # Machine-readable window-kernel benchmark results (same workload as the
-# BenchmarkWindow* suite, via internal/benchkit).
+# BenchmarkWindow* suite, via internal/benchkit; includes the span-sampling
+# ladder with its per-stage breakdown).
 bench-json:
-	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR9.json
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR10.json
 
 # Regression gate: rerun the suite and compare windows/sec and allocs/op
 # against the previous PR's committed baseline. Fails when any benchmark
 # regresses beyond the tolerance.
 bench-gate:
-	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR9.json -bench-compare BENCH_PR5.json -bench-tolerance 0.35
+	$(GO) run ./cmd/vcdbench -bench-json BENCH_PR10.json -bench-compare BENCH_PR9.json -bench-tolerance 0.35
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +89,20 @@ fleet-smoke:
 	FLEET_REPORT_DIR=$(CURDIR)/fleet-report $(GO) test -race -count=1 \
 		-run 'TestFleetScaleSmoke|TestPlane|TestCloneProbeEquivalence|TestFleet' \
 		./internal/core ./internal/qindex ./internal/experiments ./internal/server .
+
+# Performance-attribution gate: a 64-stream fleet run at 1% span sampling
+# under the race detector — /metrics must parse and lint clean with the
+# in-repo exposition parser, /debug/spans and /debug/fleet/top must serve
+# schema-stable JSON (the sampled spans land in perf-report/ as the CI
+# artifact) — plus the zero-sampling contract: span capture at 0% must add
+# no allocations and stay within 2% of the telemetry-off window baseline.
+perf-smoke:
+	mkdir -p perf-report
+	PERF_SMOKE=1 PERF_SMOKE_OUT=$(CURDIR)/perf-report/spans.ndjson \
+		$(GO) test -race -count=1 -run 'TestPerfSmoke' ./internal/server
+	$(GO) test -race -count=1 ./internal/perfobs
+	PERF_SMOKE=1 $(GO) test -count=1 \
+		-run 'TestZeroSamplingSpanCaptureAddsNoAllocs|TestZeroSamplingOverheadGate' ./internal/benchkit
 
 # Crash-recovery sweep under the race detector: snapshot/restore at every
 # window boundary and worker-count combination must reproduce the

@@ -179,6 +179,7 @@ func Resume(cfg Config) (*Detector, bool, error) {
 		d.armSlowWindow(eng)
 		d.armTrace(eng)
 		d.armOverload(eng)
+		d.armPerf(eng)
 		ckFrame = ck.Engine.Frame
 	}
 

@@ -40,6 +40,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ import (
 
 	"vdsms"
 	"vdsms/internal/buildinfo"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/telemetry"
 )
 
@@ -104,6 +106,10 @@ func main() {
 	shed := flag.Bool("shed", false, "allow the overload controller to actually shed work (without it the budget is observe-only)")
 	resync := flag.Bool("resync", false, "tolerate corrupt or truncated streams: resynchronise and keep monitoring instead of erroring")
 	explain := flag.Bool("explain", false, "trace candidate lifecycles and print an EXPLAIN line (trajectory, audit) per match")
+	spanSample := flag.Float64("span-sample", 0, "fraction of basic windows captured as perf spans (0 = off, 1 = every window; -explain implies 1)")
+	spanLog := flag.String("span-log", "", "append sampled perf spans as JSON lines to this file (\"-\" = stderr)")
+	profileDir := flag.String("profile-dir", "", "capture periodic CPU+heap profiles into a bounded file ring in this directory")
+	profileEvery := flag.Duration("profile-every", time.Minute, "interval between continuous profile captures (with -profile-dir)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Var(&qs, "q", "query clip path, or id=path (repeatable)")
 	flag.Parse()
@@ -115,6 +121,36 @@ func main() {
 
 	if *metricsAddr != "" {
 		serveMetrics("vcdmon", *metricsAddr)
+	}
+
+	// -explain is a request for the full story of a run; include the
+	// per-stage latency breakdown by sampling every window's span.
+	if *explain && *spanSample == 0 {
+		*spanSample = 1
+	}
+	if *spanSample > 0 {
+		vdsms.SetSpanSampling(*spanSample)
+		vdsms.SetAllocSampling(16)
+	}
+	if *spanLog != "" {
+		out := io.Writer(os.Stderr)
+		if *spanLog != "-" {
+			f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			bw := bufio.NewWriter(f)
+			defer func() { bw.Flush(); f.Close() }()
+			out = bw
+		}
+		vdsms.SetSpanLog(out)
+	}
+	if *profileDir != "" {
+		prof, err := vdsms.StartProfiler(*profileDir, *profileEvery, 4)
+		if err != nil {
+			fatal(err)
+		}
+		defer prof.Stop()
 	}
 
 	if *resume && *ckptDir == "" {
@@ -278,6 +314,11 @@ func main() {
 	if *explain {
 		fmt.Fprintln(os.Stderr, explainSummary(det))
 	}
+	if *spanSample > 0 {
+		if line := perfSummary(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
 	if *workers > 0 {
 		var total, max int64
 		for _, sh := range st.Shards {
@@ -381,6 +422,27 @@ func explainSummary(det *vdsms.Detector) string {
 	return fmt.Sprintf("events: born=%d extended=%d pruned=%d dropped=%d expired=%d reported=%d near_miss=%d",
 		counts["born"], counts["extended"], counts["pruned"], counts["dropped"],
 		counts["expired"], counts["reported"], counts["near_miss"])
+}
+
+// perfSummary renders the per-stage latency breakdown of the sampled spans
+// — one "perf:" line with p50/p99 per observed stage, in pipeline order.
+// Empty when nothing was sampled.
+func perfSummary() string {
+	agg := perfobs.Default.Aggregate()
+	if agg.Windows == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "perf: %d windows sampled", agg.Windows)
+	for st := perfobs.Stage(0); st < perfobs.NumStages; st++ {
+		if agg.Stages[st].Count == 0 {
+			continue
+		}
+		p50 := time.Duration(agg.Quantile(st, 0.5) * float64(time.Second))
+		p99 := time.Duration(agg.Quantile(st, 0.99) * float64(time.Second))
+		fmt.Fprintf(&sb, ", %s p50=%s p99=%s", st, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+	return sb.String()
 }
 
 func fatal(err error) {

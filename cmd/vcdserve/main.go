@@ -21,6 +21,8 @@
 //	GET    /debug/events                      lifecycle event journal (arm with -trace-events)
 //	GET    /debug/matches[/{id}]              match provenance (explain) records
 //	GET/POST /debug/slow-window               read / retune the slow-window budget live
+//	GET/POST /debug/spans                     sampled perf spans (NDJSON) / retune sampling live
+//	GET    /debug/fleet/top                   slowest / most-shed / most-backpressured streams
 //	/debug/pprof/*                            profiling, only with -pprof
 //
 // With -checkpoint-dir the service persists its subscription state: it
@@ -42,10 +44,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
@@ -81,6 +85,10 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "arm decision-provenance tracing with an event journal of this capacity (0 = off)")
 	auditFraction := flag.Float64("audit-fraction", 0, "exact-audit this fraction of report/prune decisions against Theorem 1's bound (implies tracing; 0 = off)")
 	traceLog := flag.Bool("trace-log", false, "emit journaled lifecycle events as structured JSON logs on stderr (requires tracing)")
+	spanSample := flag.Float64("span-sample", 0, "fraction of basic windows captured as perf spans, across all streams (0 = off, 1 = every window; retune live via POST /debug/spans)")
+	spanLog := flag.String("span-log", "", "append sampled perf spans as JSON lines to this file (\"-\" = stderr)")
+	profileDir := flag.String("profile-dir", "", "capture periodic CPU+heap profiles into a bounded file ring in this directory")
+	profileEvery := flag.Duration("profile-every", time.Minute, "interval between continuous profile captures (with -profile-dir)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
@@ -113,6 +121,33 @@ func main() {
 		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 		stopLog := trace.LogEvents(trace.Default, logger)
 		defer stopLog()
+	}
+
+	if *spanSample > 0 {
+		vdsms.SetSpanSampling(*spanSample)
+		vdsms.SetAllocSampling(16)
+	}
+	if *spanLog != "" {
+		out := io.Writer(os.Stderr)
+		if *spanLog != "-" {
+			f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vcdserve:", err)
+				os.Exit(1)
+			}
+			bw := bufio.NewWriter(f)
+			defer func() { bw.Flush(); f.Close() }()
+			out = bw
+		}
+		vdsms.SetSpanLog(out)
+	}
+	if *profileDir != "" {
+		prof, err := vdsms.StartProfiler(*profileDir, *profileEvery, 4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcdserve:", err)
+			os.Exit(1)
+		}
+		defer prof.Stop()
 	}
 
 	srv, err := server.NewWithOptions(cfg, server.Options{

@@ -16,6 +16,7 @@ import (
 	"vdsms/internal/degrade"
 	"vdsms/internal/feature"
 	"vdsms/internal/mpeg"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/telemetry"
 )
 
@@ -208,6 +209,7 @@ func (d *Detector) cellID(dcf *mpeg.DCFrame, scratch []float64) uint64 {
 		if !d.ovl.sampler.KeepExtract(d.ctl.Level(), score, ok) {
 			o.extractShed.Add(1)
 			telShedExtract.Inc()
+			perfobs.DefaultOutliers.ObserveShed(d.perfLabel, 1)
 			return o.lastCell
 		}
 	}

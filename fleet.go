@@ -190,6 +190,17 @@ func (f *Fleet) StreamIDs() []string { return f.pool.StreamIDs() }
 // Len returns the number of attached streams.
 func (f *Fleet) Len() int { return f.pool.Len() }
 
+// FleetWorkerStats is one worker's load breakdown; see fleet.WorkerStats.
+type FleetWorkerStats = fleet.WorkerStats
+
+// WorkerStats returns a per-worker load breakdown, ordered by worker id.
+func (f *Fleet) WorkerStats() []FleetWorkerStats { return f.pool.WorkerStats() }
+
+// QueueDepthHW returns the deepest the pool-wide frame backlog has run
+// since the fleet started — the high-watermark behind the
+// vcd_fleet_queue_depth gauge.
+func (f *Fleet) QueueDepthHW() int64 { return f.pool.QueueDepthHW() }
+
 // Drain blocks until every stream queue is empty (producers must pause).
 func (f *Fleet) Drain() { f.pool.Drain() }
 

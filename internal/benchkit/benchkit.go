@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"vdsms/internal/core"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/telemetry"
 )
 
@@ -66,6 +67,12 @@ type Result struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	WindowsPerSec float64 `json:"windows_per_sec"`
+	// SpanEvery is the span sampling cadence a perf-span variant ran at
+	// (1 = every window, 0 = collector attached but sampling off).
+	SpanEvery int `json:"span_every,omitempty"`
+	// StageNS is the span-derived mean duration per pipeline stage, in
+	// nanoseconds — present only when the variant sampled spans.
+	StageNS map[string]float64 `json:"stage_ns,omitempty"`
 }
 
 // Report is the vcdbench -bench-json document.
@@ -106,9 +113,55 @@ func BenchWindow(name string, workers int, telemetryOn bool) (Result, error) {
 	return res, nil
 }
 
+// BenchWindowSpans measures the same steady-state window workload with a
+// perf-span collector attached at the given sampling cadence (0 = attached
+// but off, the zero-overhead contract; 1 = every window) and telemetry
+// disabled, isolating the span machinery's own cost. The result carries
+// the span-derived per-stage mean breakdown when anything was sampled.
+func BenchWindowSpans(name string, workers, every int) (Result, error) {
+	eng, wins, err := WindowWorkload(workers)
+	if err != nil {
+		return Result{}, err
+	}
+	col := perfobs.NewCollector(perfobs.DefaultRing)
+	col.SetSampleEvery(int64(every))
+	eng.SetPerf(col, "bench")
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.PushFrames(wins[i%len(wins)])
+		}
+	})
+	ns := float64(r.NsPerOp())
+	res := Result{
+		Name: name, Workers: workers,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		SpanEvery:   every,
+	}
+	if ns > 0 {
+		res.WindowsPerSec = 1e9 / ns
+	}
+	agg := col.Aggregate()
+	if agg.Windows > 0 {
+		res.StageNS = make(map[string]float64)
+		for st := perfobs.Stage(0); st < perfobs.NumStages; st++ {
+			if agg.Stages[st].Count > 0 {
+				res.StageNS[st.String()] = agg.MeanNS(st)
+			}
+		}
+	}
+	return res, nil
+}
+
 // RunWindowBenchmarks runs the standard vcdbench -bench-json suite: the
 // serial kernel with telemetry on and off (the instrumentation-overhead
-// pair EXPERIMENTS.md reports) and the parallel kernel at 2/4/8 shards.
+// pair EXPERIMENTS.md reports), the parallel kernel at 2/4/8 shards, and
+// the span-sampling ladder (collector attached at 0% / 1% / 100%) whose
+// 100% rung carries the per-stage breakdown.
 func RunWindowBenchmarks(progress func(Result)) ([]Result, error) {
 	specs := []struct {
 		name      string
@@ -121,9 +174,26 @@ func RunWindowBenchmarks(progress func(Result)) ([]Result, error) {
 		{"WindowParallel4", 4, true},
 		{"WindowParallel8", 8, true},
 	}
-	results := make([]Result, 0, len(specs))
+	results := make([]Result, 0, len(specs)+3)
 	for _, s := range specs {
 		r, err := BenchWindow(s.name, s.workers, s.telemetry)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s: %w", s.name, err)
+		}
+		if progress != nil {
+			progress(r)
+		}
+		results = append(results, r)
+	}
+	for _, s := range []struct {
+		name  string
+		every int
+	}{
+		{"WindowSerialSpansOff", 0},
+		{"WindowSerialSpans1pct", 100},
+		{"WindowSerialSpansAll", 1},
+	} {
+		r, err := BenchWindowSpans(s.name, 0, s.every)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s: %w", s.name, err)
 		}

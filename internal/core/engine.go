@@ -7,6 +7,7 @@ import (
 
 	"vdsms/internal/bitsig"
 	"vdsms/internal/minhash"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/qindex"
 	"vdsms/internal/telemetry"
 	"vdsms/internal/trace"
@@ -96,6 +97,16 @@ type Engine struct {
 	// telShardCompared are this engine's per-shard comparison counters
 	// (shared process-wide by shard id via the telemetry registry).
 	telShardCompared []*telemetry.Counter
+
+	// perf is the span collector this engine samples into (nil = spans
+	// off; see SetPerf) and perfLabel the stream label on exported spans.
+	// pendingSpanNS stages out-of-kernel stage durations (front-end
+	// decode/extract from the facade, queue-wait/worker-hop from the fleet)
+	// for the next processed window; consumed — sampled or not — at the
+	// window's start so stale spans never leak across windows.
+	perf          *perfobs.Collector
+	perfLabel     string
+	pendingSpanNS [perfobs.NumStages]int64
 
 	// Pre-filter accounting for this engine's windows, outside Stats so
 	// the snapshot codec is untouched (the tier is a runtime choice).
@@ -300,8 +311,18 @@ func (e *Engine) maxWindowsOf(q *queryInfo) int { return e.cfg.maxWindows(q.fram
 func (e *Engine) processWindow() {
 	e.stats.Windows++
 	telWindows.Inc()
+	// Span sampling: one atomic load when the collector is armed but this
+	// window loses the cadence draw; nothing at all when perf is unset.
+	var sp *perfobs.Span
+	if e.perf != nil {
+		sp = e.perf.Begin(e.perfLabel)
+		if sp != nil {
+			sp.NS = e.pendingSpanNS
+		}
+		e.pendingSpanNS = [perfobs.NumStages]int64{}
+	}
 	slow := e.slowBudget()
-	timed := telemetry.Enabled() || (slow > 0 && e.OnSlowWindow != nil) || e.OnWindowDone != nil
+	timed := telemetry.Enabled() || (slow > 0 && e.OnSlowWindow != nil) || e.OnWindowDone != nil || sp != nil
 	var t0, t1 time.Time
 	if timed {
 		t0 = time.Now()
@@ -312,6 +333,7 @@ func (e *Engine) processWindow() {
 		t1 = time.Now()
 		sketchD = t1.Sub(t0)
 	}
+	sp.AllocMark(perfobs.StageSketch)
 	// The entire window is processed against one immutable plane captured
 	// here with a single atomic load: probes, candidate evaluation and the
 	// pre-filter mask all see the same subscription version even while a
@@ -383,6 +405,9 @@ func (e *Engine) processWindow() {
 			s.d.combineNS = time.Since(ts).Nanoseconds()
 		}
 	})
+	// The shard fork's allocations (probe + combine interleave across
+	// workers) are attributed to the probe stage as one block.
+	sp.AllocMark(perfobs.StageProbe)
 
 	var tMerge time.Time
 	if timed {
@@ -400,10 +425,11 @@ func (e *Engine) processWindow() {
 	}
 	e.emitPending(win)
 	e.foldShardStats()
+	sp.AllocMark(perfobs.StageMerge)
 	if timed {
 		end := time.Now()
 		total := end.Sub(t0)
-		e.observeWindow(win, slow, sketchD, preD+end.Sub(tMerge), total)
+		e.observeWindow(win, slow, sketchD, preD+end.Sub(tMerge), total, sp)
 		if e.OnWindowDone != nil {
 			e.OnWindowDone(total)
 		}

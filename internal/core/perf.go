@@ -1,0 +1,30 @@
+// Perf-span wiring: how an Engine joins the performance-attribution layer.
+package core
+
+import "vdsms/internal/perfobs"
+
+// SetPerf points the engine at a span collector with the given stream
+// label ("" for an anonymous engine). Every subsequently processed window
+// offers itself to the collector's sampler; with a nil collector (the
+// default) the kernel skips span work entirely. Call before pushing
+// frames, from the engine's own goroutine.
+func (e *Engine) SetPerf(c *perfobs.Collector, label string) {
+	e.perf = c
+	e.perfLabel = label
+}
+
+// PerfArmed reports whether span capture could sample a window right now —
+// the cue for front ends that must pre-arm their own timing (the facade's
+// decode/extract timer).
+func (e *Engine) PerfArmed() bool {
+	return e.perf != nil && e.perf.Armed()
+}
+
+// AddPendingSpanNS stages an out-of-kernel stage duration (front-end
+// decode/extract, fleet queue-wait or worker-hop) for the engine's next
+// processed window. If that window loses the sampling draw the staged
+// values are discarded with it, so attribution never smears across
+// windows. Call from the engine's owning goroutine only.
+func (e *Engine) AddPendingSpanNS(st perfobs.Stage, ns int64) {
+	e.pendingSpanNS[st] += ns
+}

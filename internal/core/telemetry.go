@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"time"
 
+	"vdsms/internal/perfobs"
 	"vdsms/internal/telemetry"
 )
 
@@ -86,11 +87,12 @@ type SlowWindowTrace struct {
 }
 
 // observeWindow publishes one processed window's stage spans into the
-// histograms and, when the window blew its budget, hands the breakdown to
-// the tracer. Called once per window from processWindow, only when timing
-// was armed. budget is the slow-window threshold resolved for this window
-// (the runtime-adjustable SlowVar when wired, else SlowWindow).
-func (e *Engine) observeWindow(win *windowResult, budget time.Duration, sketch, merge, total time.Duration) {
+// histograms, finishes the window's perf span (when sampled), and, when
+// the window blew its budget, hands the breakdown to the tracer. Called
+// once per window from processWindow, only when timing was armed. budget
+// is the slow-window threshold resolved for this window (the
+// runtime-adjustable SlowVar when wired, else SlowWindow).
+func (e *Engine) observeWindow(win *windowResult, budget time.Duration, sketch, merge, total time.Duration, sp *perfobs.Span) {
 	var probeNS, combineNS int64
 	for _, s := range e.shards {
 		if s.d.probeNS > probeNS {
@@ -108,6 +110,20 @@ func (e *Engine) observeWindow(win *windowResult, budget time.Duration, sketch, 
 		telStageCombine.ObserveDuration(combine)
 		telStageMerge.ObserveDuration(merge)
 		telStageWindow.ObserveDuration(total)
+	}
+	if sp != nil {
+		sp.Window = int64(e.stats.Windows)
+		sp.StartFrame = win.startFrame
+		sp.EndFrame = win.endFrame
+		sp.Related = win.relatedLen()
+		sp.Workers = e.nshards
+		sp.Plane = e.planeVersion
+		sp.Set(perfobs.StageSketch, sketch)
+		sp.SetNS(perfobs.StageProbe, probeNS)
+		sp.SetNS(perfobs.StageCombine, combineNS)
+		sp.Set(perfobs.StageMerge, merge)
+		sp.Set(perfobs.StageWindowTotal, total)
+		e.perf.End(sp)
 	}
 	if budget > 0 && total > budget && e.OnSlowWindow != nil {
 		e.OnSlowWindow(SlowWindowTrace{

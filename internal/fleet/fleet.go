@@ -32,8 +32,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vdsms/internal/core"
+	"vdsms/internal/perfobs"
+	"vdsms/internal/telemetry"
 )
 
 // Errors surfaced by pool admission and stream ingest. Callers branch with
@@ -95,8 +98,10 @@ type Pool struct {
 	wg      sync.WaitGroup
 
 	// queued aggregates pending+in-flight frames across streams, mirrored
-	// into the vcd_fleet_queue_frames gauge.
-	queued atomic.Int64
+	// into the vcd_fleet_queue_frames gauge; queuedHW is its high-watermark
+	// (the vcd_fleet_queue_depth gauge — how deep the backlog has ever run).
+	queued   atomic.Int64
+	queuedHW atomic.Int64
 }
 
 // New builds a pool with a fresh query plane.
@@ -124,7 +129,7 @@ func NewWith(cfg Config, qs *core.QuerySet) (*Pool, error) {
 	p := &Pool{cfg: cfg, qs: qs, streams: make(map[string]*Stream)}
 	p.workers = make([]*worker, cfg.Workers)
 	for i := range p.workers {
-		w := &worker{}
+		w := &worker{id: i}
 		w.cond = sync.NewCond(&w.mu)
 		p.workers[i] = w
 		p.wg.Add(1)
@@ -216,6 +221,10 @@ func (p *Pool) attach(id string, eng *core.Engine) (*Stream, error) {
 	}
 	s := &Stream{id: id, p: p, w: p.workerFor(id), eng: eng}
 	s.done = sync.NewCond(&s.qmu)
+	// Fleet engines report spans into the process collector under their
+	// stream id — wired before the stream is published, so no pass can race
+	// the assignment.
+	eng.SetPerf(perfobs.Default, id)
 	p.streams[id] = s
 	telStreamsActive.Set(float64(len(p.streams)))
 	return s, nil
@@ -296,6 +305,11 @@ type Stream struct {
 	processing bool
 	detached   bool
 	done       *sync.Cond // broadcast when a pass ends with an empty queue
+	// enqAt marks when the current queue generation went non-empty and
+	// wakeAt when the worker wake was signalled — the queue-wait and
+	// worker-hop span sources. Zero when timing is off (see timing()).
+	enqAt  time.Time
+	wakeAt time.Time
 
 	// emu guards the engine: the owning worker holds it across PushFrames,
 	// readers (Stats, Matches) hold it briefly between windows.
@@ -324,24 +338,63 @@ func (s *Stream) Push(cellIDs []uint64) error {
 	if depth+len(cellIDs) > s.p.cfg.QueueFrames {
 		s.qmu.Unlock()
 		telPushRejected.Inc()
+		perfobs.DefaultOutliers.ObserveBackpressure(s.id, int64(len(cellIDs)))
 		return fmt.Errorf("%w: stream %q holds %d frames, batch of %d exceeds budget %d",
 			ErrBackpressure, s.id, depth, len(cellIDs), s.p.cfg.QueueFrames)
 	}
+	fresh := len(s.pending) == 0 && s.enqAt.IsZero()
 	s.pending = append(s.pending, cellIDs...)
 	wake := !s.enqueued && !s.processing
 	if wake {
 		s.enqueued = true
 	}
+	if (fresh || wake) && s.timing() {
+		now := time.Now()
+		if fresh {
+			s.enqAt = now
+		}
+		if wake {
+			s.wakeAt = now
+		}
+	}
 	s.qmu.Unlock()
 
 	telBatches.Inc()
 	telFrames.Add(int64(len(cellIDs)))
-	telQueueFrames.Set(float64(s.p.queued.Add(int64(len(cellIDs)))))
+	s.p.noteQueued(int64(len(cellIDs)))
 	if wake {
 		s.w.enqueue(s)
 	}
 	return nil
 }
+
+// timing reports whether queue-wait/worker-hop clock reads should run:
+// telemetry is on or the engine's span sampler is armed. Called with qmu
+// held; the engine's perf wiring is set before the stream is published and
+// never changes, so reading it here is safe.
+func (s *Stream) timing() bool {
+	return telemetry.Enabled() || s.eng.PerfArmed()
+}
+
+// noteQueued moves the pool-wide queued-frame gauge by delta and maintains
+// the high-watermark gauge.
+func (p *Pool) noteQueued(delta int64) {
+	depth := p.queued.Add(delta)
+	telQueueFrames.Set(float64(depth))
+	for {
+		hw := p.queuedHW.Load()
+		if depth <= hw {
+			return
+		}
+		if p.queuedHW.CompareAndSwap(hw, depth) {
+			telQueueDepth.Set(float64(depth))
+			return
+		}
+	}
+}
+
+// QueueDepthHW returns the deepest the pool-wide frame backlog has run.
+func (p *Pool) QueueDepthHW() int64 { return p.queuedHW.Load() }
 
 // runPass is one worker visit: swap out everything pending, run it through
 // the engine, then reschedule if more arrived meanwhile. Only the pinned
@@ -354,13 +407,35 @@ func (s *Stream) runPass() {
 	s.inflight = len(batch)
 	s.enqueued = false
 	s.processing = true
+	// Close the queue-wait (first frame of the generation → pass start) and
+	// worker-hop (wake signal → pass start) spans; attributed to the first
+	// window the pass completes.
+	var qwaitNS, hopNS int64
+	if !s.enqAt.IsZero() {
+		now := time.Now()
+		qwaitNS = now.Sub(s.enqAt).Nanoseconds()
+		if !s.wakeAt.IsZero() {
+			hopNS = now.Sub(s.wakeAt).Nanoseconds()
+		}
+		s.enqAt, s.wakeAt = time.Time{}, time.Time{}
+	}
 	s.qmu.Unlock()
 
 	if len(batch) > 0 {
+		s.w.passes.Add(1)
+		s.w.frames.Add(int64(len(batch)))
 		s.emu.Lock()
+		if qwaitNS > 0 {
+			s.eng.AddPendingSpanNS(perfobs.StageQueueWait, qwaitNS)
+			s.eng.AddPendingSpanNS(perfobs.StageWorkerHop, hopNS)
+			if telemetry.Enabled() {
+				telQueueWait.Observe(float64(qwaitNS) / 1e9)
+				telWorkerHop.Observe(float64(hopNS) / 1e9)
+			}
+		}
 		s.eng.PushFrames(batch)
 		s.emu.Unlock()
-		telQueueFrames.Set(float64(s.p.queued.Add(int64(-len(batch)))))
+		s.p.noteQueued(int64(-len(batch)))
 	}
 
 	s.qmu.Lock()
@@ -369,6 +444,10 @@ func (s *Stream) runPass() {
 	again := len(s.pending) > 0
 	if again {
 		s.enqueued = true
+		if !s.enqAt.IsZero() {
+			// The re-enqueue is the wake signal for the leftover frames.
+			s.wakeAt = time.Now()
+		}
 	} else {
 		s.done.Broadcast()
 	}
@@ -403,7 +482,7 @@ func (s *Stream) Detach(drain bool) {
 		dropped := len(s.pending)
 		s.pending = nil
 		if dropped > 0 {
-			telQueueFrames.Set(float64(s.p.queued.Add(int64(-dropped))))
+			s.p.noteQueued(int64(-dropped))
 		}
 	}
 	s.qmu.Unlock()
@@ -455,10 +534,61 @@ func (s *Stream) Pending() int {
 
 // worker drives the streams pinned to it, one ready-list pass at a time.
 type worker struct {
+	id    int
 	mu    sync.Mutex
 	cond  *sync.Cond
 	ready []*Stream
 	stop  bool
+
+	// passes and frames count completed non-empty passes and the frames
+	// they carried — the per-worker load surface of Pool.WorkerStats.
+	passes atomic.Int64
+	frames atomic.Int64
+}
+
+// WorkerStats describes one pool worker's load: how many streams hash to
+// it, how much work it has done, and its current backlog.
+type WorkerStats struct {
+	// ID is the worker index streams are pinned to by id hash.
+	ID int `json:"id"`
+	// Streams is the number of attached streams pinned to this worker.
+	Streams int `json:"streams"`
+	// Passes and Frames count completed non-empty passes and their frames.
+	Passes int64 `json:"passes"`
+	Frames int64 `json:"frames"`
+	// Ready is the worker's current ready-list length; QueuedFrames the
+	// pending+in-flight frames across its pinned streams.
+	Ready        int `json:"ready"`
+	QueuedFrames int `json:"queuedFrames"`
+}
+
+// WorkerStats returns a per-worker load breakdown, ordered by worker id —
+// the skew surface: a hot worker with many queued frames names the victim
+// of an uneven stream-to-worker hash.
+func (p *Pool) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		ready := len(w.ready)
+		w.mu.Unlock()
+		out[i] = WorkerStats{
+			ID:     w.id,
+			Passes: w.passes.Load(),
+			Frames: w.frames.Load(),
+			Ready:  ready,
+		}
+	}
+	p.mu.Lock()
+	streams := make([]*Stream, 0, len(p.streams))
+	for _, s := range p.streams {
+		streams = append(streams, s)
+	}
+	p.mu.Unlock()
+	for _, s := range streams {
+		out[s.w.id].Streams++
+		out[s.w.id].QueuedFrames += s.Pending()
+	}
+	return out
 }
 
 func (w *worker) enqueue(s *Stream) {

@@ -18,6 +18,14 @@ var (
 		"Key frames accepted into stream queues.")
 	telQueueFrames = telemetry.Default.Gauge("vcd_fleet_queue_frames",
 		"Frames queued or in flight across all streams of the pool.")
+	telQueueDepth = telemetry.Default.Gauge("vcd_fleet_queue_depth",
+		"High-watermark of vcd_fleet_queue_frames — the deepest the pool-wide backlog has ever run.")
+	telQueueWait = telemetry.Default.Histogram("vcd_fleet_queue_wait_seconds",
+		"Time a pass's frames waited in a stream queue before its pinned worker picked them up.",
+		telemetry.DurationBuckets)
+	telWorkerHop = telemetry.Default.Histogram("vcd_fleet_worker_hop_seconds",
+		"Scheduling hop between a stream's wake signal and its pass starting on the pinned worker.",
+		telemetry.DurationBuckets)
 	telPlaneBytes = telemetry.Default.Gauge("vcd_fleet_plane_bytes",
 		"Memory footprint of the shared query plane (index, sketches, pre-filter) — paid once, not per stream.")
 	telPlaneVersion = telemetry.Default.Gauge("vcd_fleet_plane_version",

@@ -1,0 +1,127 @@
+// Continuous profiling: opt-in periodic CPU and heap profile capture into
+// a bounded ring of files, so a production incident always has a profile
+// from the last few minutes on disk without anyone attaching pprof first.
+package perfobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"vdsms/internal/telemetry"
+)
+
+var (
+	telProfilesCaptured = telemetry.Default.Counter("vcd_perf_profiles_captured_total",
+		"CPU+heap profile pairs captured by the continuous profiler.")
+	telProfileErrors = telemetry.Default.Counter("vcd_perf_profile_errors_total",
+		"Continuous-profiler capture failures (file or pprof errors).")
+)
+
+// Profiler periodically captures a CPU profile (a quarter of the capture
+// period, clamped to [10ms, 10s]) and a heap profile into dir. File names
+// cycle through keep slots (cpu-0.pprof … cpu-(keep-1).pprof and the heap-
+// equivalents), so disk use is bounded at roughly 2×keep small files.
+type Profiler struct {
+	dir   string
+	every time.Duration
+	keep  int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartProfiler begins continuous profiling into dir every period, keeping
+// the last keep captures of each kind (keep < 1 is clamped to 1, every
+// < 1s to 1s). The directory is created if missing. Only one CPU profile
+// can run per process, so start at most one Profiler.
+func StartProfiler(dir string, every time.Duration, keep int) (*Profiler, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("perfobs: profiler needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("perfobs: profile dir: %w", err)
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if every < time.Second {
+		every = time.Second
+	}
+	p := &Profiler{
+		dir:   dir,
+		every: every,
+		keep:  keep,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.run()
+	return p, nil
+}
+
+// Stop halts the capture loop and waits for an in-flight capture to finish.
+func (p *Profiler) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Profiler) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	for seq := 0; ; seq++ {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		if err := p.capture(seq % p.keep); err != nil {
+			telProfileErrors.Inc()
+			continue
+		}
+		telProfilesCaptured.Inc()
+	}
+}
+
+// capture writes one CPU profile (sampling for a quarter of the period)
+// and one heap profile into ring slot.
+func (p *Profiler) capture(slot int) error {
+	cpuDur := p.every / 4
+	if cpuDur > 10*time.Second {
+		cpuDur = 10 * time.Second
+	}
+	if cpuDur < 10*time.Millisecond {
+		cpuDur = 10 * time.Millisecond
+	}
+
+	cf, err := os.Create(filepath.Join(p.dir, fmt.Sprintf("cpu-%d.pprof", slot)))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	// Honour Stop during the sampling window so shutdown never waits a full
+	// CPU capture.
+	select {
+	case <-time.After(cpuDur):
+	case <-p.stop:
+	}
+	pprof.StopCPUProfile()
+	if err := cf.Close(); err != nil {
+		return err
+	}
+
+	hf, err := os.Create(filepath.Join(p.dir, fmt.Sprintf("heap-%d.pprof", slot)))
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+		hf.Close()
+		return err
+	}
+	return hf.Close()
+}

@@ -22,6 +22,10 @@
 //	GET    /debug/events                       → candidate-lifecycle event journal (filterable)
 //	GET    /debug/matches[/{id}]               → match provenance (explain) records
 //	GET/POST /debug/slow-window                → read / retune the slow-window budget live
+//	GET/POST /debug/spans                      → sampled per-window span records (NDJSON) /
+//	                                             retune span sampling live
+//	GET    /debug/fleet/top                    → slowest / most-shed / most-backpressured
+//	                                             streams (bounded top-K)
 //	/debug/pprof/*                             → profiling (opt-in via Options.EnablePprof)
 //
 // Every stream POST gets its own detection engine; all engines share one
@@ -195,6 +199,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/matches", s.handleDebugMatches)
 	mux.HandleFunc("/debug/matches/", s.handleDebugMatches)
 	mux.HandleFunc("/debug/slow-window", s.handleSlowWindow)
+	mux.HandleFunc("/debug/spans", s.handleDebugSpans)
+	mux.HandleFunc("/debug/fleet/top", s.handleFleetTop)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -446,9 +452,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"tracing":        s.root.Tracing(),
 		"slowWindow":     s.root.SlowWindowBudget().String(),
 		"fleet": map[string]any{
-			"streams":    s.fleet.Len(),
-			"planeBytes": s.fleet.PlaneBytes(),
+			"streams":      s.fleet.Len(),
+			"planeBytes":   s.fleet.PlaneBytes(),
+			"queueDepthHW": s.fleet.QueueDepthHW(),
+			"workers":      s.fleet.WorkerStats(),
 		},
+		"perf": perfStatsBlock(),
 		"shed": map[string]any{
 			"armed":       ov.Armed,
 			"level":       ov.Level,

@@ -9,6 +9,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -53,7 +55,11 @@ func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
 // ParseExposition parses text exposition format v0.0.4, enforcing the
 // structural rules WritePrometheus relies on: TYPE precedes a family's
 // samples, sample lines are well-formed, and values parse as floats
-// (+Inf included).
+// (+Inf included — histogram +Inf buckets round-trip). Tolerated beyond
+// what WritePrometheus emits, because scrapes pass through proxies and
+// shell pipelines that pad them: trailing whitespace and carriage returns
+// on any line, tabs as field separators, and an optional trailing
+// timestamp after a sample value.
 func ParseExposition(r io.Reader) (*Exposition, error) {
 	e := &Exposition{Help: make(map[string]string), Type: make(map[string]string)}
 	sc := bufio.NewScanner(r)
@@ -61,7 +67,7 @@ func ParseExposition(r io.Reader) (*Exposition, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		line := strings.TrimRight(sc.Text(), " \t\r")
 		if line == "" {
 			continue
 		}
@@ -106,6 +112,104 @@ func ParseExposition(r io.Reader) (*Exposition, error) {
 	return e, nil
 }
 
+// Buckets returns the cumulative bucket counts of the histogram family
+// with the given name and label subset, keyed by upper bound in ascending
+// order with the +Inf bucket last (bounds come back as floats, "+Inf"
+// parsing to math.Inf(1)). ok is false when no bucket sample matched.
+func (e *Exposition) Buckets(family string, labels ...Label) (bounds, counts []float64, ok bool) {
+	type bc struct{ bound, count float64 }
+	var got []bc
+	for _, s := range e.Samples {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if s.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		le, err := parseBound(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		got = append(got, bc{le, s.Value})
+	}
+	if len(got) == 0 {
+		return nil, nil, false
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].bound < got[j].bound })
+	for _, b := range got {
+		bounds = append(bounds, b.bound)
+		counts = append(counts, b.count)
+	}
+	return bounds, counts, true
+}
+
+// parseBound parses an le label value, accepting the +Inf spellings the
+// exposition format allows.
+func parseBound(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf", "inf":
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// LintHistograms applies the structural invariants of well-formed
+// histogram families to a parsed scrape: every family typed histogram has
+// a +Inf bucket, bucket counts are non-decreasing in the bound, and the
+// +Inf bucket equals the family's _count sample. Returns the first
+// violation found.
+func (e *Exposition) LintHistograms() error {
+	for family, typ := range e.Type {
+		if typ != "histogram" {
+			continue
+		}
+		// Partition this family's bucket samples by their non-le label sets.
+		seen := map[string]bool{}
+		for _, s := range e.Samples {
+			if s.Name != family+"_bucket" {
+				continue
+			}
+			var sel []Label
+			for k, v := range s.Labels {
+				if k != "le" {
+					sel = append(sel, Label{k, v})
+				}
+			}
+			sort.Slice(sel, func(i, j int) bool { return sel[i].Key < sel[j].Key })
+			key := fmt.Sprint(sel)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			bounds, counts, ok := e.Buckets(family, sel...)
+			if !ok {
+				return fmt.Errorf("histogram %s%v: no parsable buckets", family, sel)
+			}
+			if !math.IsInf(bounds[len(bounds)-1], 1) {
+				return fmt.Errorf("histogram %s%v: missing +Inf bucket", family, sel)
+			}
+			for i := 1; i < len(counts); i++ {
+				if counts[i] < counts[i-1] {
+					return fmt.Errorf("histogram %s%v: bucket le=%g count %g < previous %g",
+						family, sel, bounds[i], counts[i], counts[i-1])
+				}
+			}
+			if cnt, ok := e.Value(family+"_count", sel...); ok && counts[len(counts)-1] != cnt {
+				return fmt.Errorf("histogram %s%v: +Inf bucket %g != _count %g",
+					family, sel, counts[len(counts)-1], cnt)
+			}
+		}
+	}
+	return nil
+}
+
 // familyOf strips the histogram sample suffixes from a sample name.
 func familyOf(name string) string {
 	for _, suf := range []string{"_bucket", "_sum", "_count"} {
@@ -120,11 +224,11 @@ func parseSample(line string) (Sample, error) {
 	s := Sample{Labels: make(map[string]string)}
 	rest := line
 	brace := strings.IndexByte(rest, '{')
-	space := strings.IndexByte(rest, ' ')
-	if space < 0 {
+	sep := strings.IndexAny(rest, " \t")
+	if sep < 0 {
 		return s, fmt.Errorf("no value separator in %q", line)
 	}
-	if brace >= 0 && brace < space {
+	if brace >= 0 && brace < sep {
 		s.Name = rest[:brace]
 		end := strings.IndexByte(rest, '}')
 		if end < brace {
@@ -135,11 +239,15 @@ func parseSample(line string) (Sample, error) {
 		}
 		rest = strings.TrimSpace(rest[end+1:])
 	} else {
-		s.Name = rest[:space]
-		rest = strings.TrimSpace(rest[space+1:])
+		s.Name = rest[:sep]
+		rest = strings.TrimSpace(rest[sep+1:])
 	}
 	if s.Name == "" {
 		return s, fmt.Errorf("empty sample name in %q", line)
+	}
+	// The format allows "value [timestamp]"; keep the value, drop the rest.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
 	}
 	v, err := strconv.ParseFloat(rest, 64)
 	if err != nil {

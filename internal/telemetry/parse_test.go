@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseToleratesPadding: trailing whitespace, carriage returns, tab
+// separators, whitespace-only lines and trailing timestamps — the padding
+// real scrapes pick up from proxies and shell pipelines — must parse to
+// the same exposition as the clean text.
+func TestParseToleratesPadding(t *testing.T) {
+	clean := strings.Join([]string{
+		"# HELP vcd_x_total Things.",
+		"# TYPE vcd_x_total counter",
+		"vcd_x_total 7",
+		"# TYPE vcd_h histogram",
+		`vcd_h_bucket{le="0.1"} 2`,
+		`vcd_h_bucket{le="+Inf"} 3`,
+		"vcd_h_sum 5.5",
+		"vcd_h_count 3",
+		"",
+	}, "\n")
+	padded := strings.Join([]string{
+		"# HELP vcd_x_total Things.  ",
+		"# TYPE vcd_x_total counter\r",
+		"vcd_x_total\t7 1700000000000",
+		"   ",
+		"# TYPE vcd_h histogram ",
+		`vcd_h_bucket{le="0.1"} 2  ` + "\r",
+		`vcd_h_bucket{le="+Inf"}` + "\t3\t1700000000000\r",
+		"vcd_h_sum 5.5 ",
+		"vcd_h_count\t3",
+		"",
+	}, "\n")
+
+	want, err := ParseExposition(strings.NewReader(clean))
+	if err != nil {
+		t.Fatalf("clean text: %v", err)
+	}
+	got, err := ParseExposition(strings.NewReader(padded))
+	if err != nil {
+		t.Fatalf("padded text: %v", err)
+	}
+	if !reflect.DeepEqual(got.Samples, want.Samples) {
+		t.Errorf("padded parse diverges:\nclean:  %+v\npadded: %+v", want.Samples, got.Samples)
+	}
+	if got.Type["vcd_h"] != "histogram" || got.Help["vcd_x_total"] != "Things." {
+		t.Errorf("metadata lost: type=%v help=%v", got.Type, got.Help)
+	}
+}
+
+// TestBucketsRecoversBounds: the le labels come back as ordered floats
+// with the +Inf bucket last, ready for QuantileFromCounts.
+func TestBucketsRecoversBounds(t *testing.T) {
+	_, text := buildScrape(t)
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, counts, ok := e.Buckets("vcd_dur_seconds", L("stage", "probe"))
+	if !ok {
+		t.Fatal("no buckets found")
+	}
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v, want 4 with +Inf last", bounds)
+	}
+	wantBounds := []float64{0.001, 0.01, 0.1}
+	for i, b := range wantBounds {
+		if bounds[i] != b {
+			t.Errorf("bounds[%d] = %g, want %g", i, bounds[i], b)
+		}
+	}
+	if want := []float64{1, 1, 2, 3}; !reflect.DeepEqual(counts, want) {
+		t.Errorf("counts = %v, want %v", counts, want)
+	}
+	if _, _, ok := e.Buckets("vcd_dur_seconds", L("stage", "nope")); ok {
+		t.Error("Buckets matched a non-existent label set")
+	}
+}
+
+// TestLintHistograms: a well-formed scrape lints clean; dropping the +Inf
+// bucket, breaking monotonicity or desyncing _count each trip it.
+func TestLintHistograms(t *testing.T) {
+	_, text := buildScrape(t)
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LintHistograms(); err != nil {
+		t.Errorf("well-formed scrape failed lint: %v", err)
+	}
+
+	for name, mangle := range map[string]func(string) string{
+		"missing +Inf": func(s string) string {
+			return strings.ReplaceAll(s, `le="+Inf"`, `le="9"`)
+		},
+		"non-monotone": func(s string) string {
+			return strings.Replace(s, `le="0.01"} 1`, `le="0.01"} 0`, 1)
+		},
+		"count desync": func(s string) string {
+			return strings.Replace(s, "vcd_dur_seconds_count{stage=\"probe\"} 3",
+				"vcd_dur_seconds_count{stage=\"probe\"} 4", 1)
+		},
+	} {
+		bad := mangle(text)
+		if bad == text {
+			t.Fatalf("%s: mangle had no effect", name)
+		}
+		e, err := ParseExposition(strings.NewReader(bad))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := e.LintHistograms(); err == nil {
+			t.Errorf("%s: lint accepted a broken histogram", name)
+		}
+	}
+}
+
+// TestRoundTripThroughPadding: render → pad → parse → the quantile math
+// still works off the recovered buckets, closing the loop the perf-smoke
+// gate relies on.
+func TestRoundTripThroughPadding(t *testing.T) {
+	_, text := buildScrape(t)
+	padded := strings.ReplaceAll(text, "\n", " \r\n")
+	e, err := ParseExposition(strings.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LintHistograms(); err != nil {
+		t.Fatal(err)
+	}
+	bounds, counts, ok := e.Buckets("vcd_dur_seconds", L("stage", "probe"))
+	if !ok {
+		t.Fatal("no buckets")
+	}
+	// Convert cumulative to per-bucket counts for QuantileFromCounts.
+	per := make([]int64, len(counts))
+	prev := 0.0
+	for i, c := range counts {
+		per[i] = int64(c - prev)
+		prev = c
+	}
+	q := QuantileFromCounts(bounds[:len(bounds)-1], per, 0.5)
+	if q <= 0 {
+		t.Errorf("median from recovered buckets = %g, want > 0", q)
+	}
+}

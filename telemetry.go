@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vdsms/internal/core"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/telemetry"
 )
 
@@ -110,6 +111,10 @@ type frontEndTimer struct {
 	perWindow             int
 	decode, extract       time.Duration
 	lastDecode, lastExtra time.Duration
+	// eng, when set and span-armed, receives the flushed decode/extract
+	// spans as the next window's pending front-end stages (flush runs at
+	// the window-filling frame, before that window is pushed).
+	eng *core.Engine
 }
 
 func newFrontEndTimer(perWindow int) frontEndTimer {
@@ -136,6 +141,10 @@ func (f *frontEndTimer) flush() {
 	if telemetry.Enabled() {
 		telStageDecode.ObserveDuration(f.decode)
 		telStageExtract.ObserveDuration(f.extract)
+	}
+	if f.eng != nil && f.eng.PerfArmed() {
+		f.eng.AddPendingSpanNS(perfobs.StageDecode, f.decode.Nanoseconds())
+		f.eng.AddPendingSpanNS(perfobs.StageExtract, f.extract.Nanoseconds())
 	}
 	f.decode, f.extract, f.frames = 0, 0, 0
 }

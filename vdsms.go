@@ -35,6 +35,7 @@ import (
 	"vdsms/internal/feature"
 	"vdsms/internal/mpeg"
 	"vdsms/internal/partition"
+	"vdsms/internal/perfobs"
 	"vdsms/internal/snapshot"
 	"vdsms/internal/trace"
 )
@@ -213,6 +214,10 @@ type Detector struct {
 	ovl *ovlState
 	fe  *frontEndTimer
 
+	// perfLabel is the stream label this detector's spans and outlier
+	// observations carry (resolved by armPerf from the trace stream name).
+	perfLabel string
+
 	// Checkpoint state (armed when Config.CheckpointDir is set).
 	wal      *snapshot.WAL
 	lastCkpt time.Time
@@ -281,6 +286,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	d.armSlowWindow(eng)
 	d.armTrace(eng)
 	d.armOverload(eng)
+	d.armPerf(eng)
 	return d, nil
 }
 
@@ -312,6 +318,7 @@ func (d *Detector) NewStreamNamed(name string) (*Detector, error) {
 	nd.armSlowWindow(eng)
 	nd.armTrace(eng)
 	nd.armOverload(eng)
+	nd.armPerf(eng)
 	return nd, nil
 }
 
@@ -346,6 +353,7 @@ func LoadDetector(cfg Config, r io.Reader) (*Detector, error) {
 	d.armSlowWindow(eng)
 	d.armTrace(eng)
 	d.armOverload(eng)
+	d.armPerf(eng)
 	return d, nil
 }
 
@@ -470,6 +478,7 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 			if !keep {
 				o.decodeShed.Add(1)
 				telShedDecode.Inc()
+				perfobs.DefaultOutliers.ObserveShed(d.perfLabel, 1)
 			}
 			return !keep
 		})
@@ -504,7 +513,8 @@ func (d *Detector) Monitor(stream io.Reader) ([]Match, error) {
 	// controller is armed, the timer also runs so the controller sees full
 	// ingest latency (the engine only knows its own kernel time).
 	fe := newFrontEndTimer(d.winKeyF)
-	if d.ctl != nil {
+	fe.eng = d.engine
+	if d.ctl != nil || d.engine.PerfArmed() {
 		fe.active = true
 	}
 	d.fe = &fe
